@@ -1,0 +1,86 @@
+// Ablation — topology pre-filter rejection rate (Sec. III-C).
+//
+// The paper reports that fewer than 0.1% of topologies from the fully
+// trained model are rejected by the rule-based pre-filter. At CPU scale the
+// absolute rate is higher, but the shape is reproducible: an untrained
+// model emits near-uniform noise that the pre-filter rejects almost always,
+// and the rejection rate collapses as training progresses.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "io/io.h"
+#include "legalize/constraints.h"
+
+namespace dp = diffpattern;
+
+namespace {
+
+struct Point {
+  std::int64_t train_iterations;
+  double reject_rate;
+  double bowtie_rate;
+  double empty_rate;
+};
+
+Point measure(std::int64_t train_iterations, std::int64_t samples) {
+  auto cfg = dp::bench::bench_pipeline_config();
+  cfg.train_iterations = train_iterations;
+  dp::core::Pipeline pipeline(cfg);
+  if (train_iterations > 0) {
+    pipeline.train();
+  } else {
+    pipeline.dataset();
+  }
+  const auto topologies = pipeline.sample_topologies(samples);
+  Point point;
+  point.train_iterations = train_iterations;
+  std::int64_t bowtie = 0;
+  std::int64_t empty = 0;
+  for (const auto& topology : topologies) {
+    switch (dp::legalize::prefilter_topology(topology)) {
+      case dp::legalize::PrefilterVerdict::bowtie: ++bowtie; break;
+      case dp::legalize::PrefilterVerdict::empty_topology: ++empty; break;
+      case dp::legalize::PrefilterVerdict::ok: break;
+    }
+  }
+  const double n = static_cast<double>(samples);
+  point.bowtie_rate = static_cast<double>(bowtie) / n;
+  point.empty_rate = static_cast<double>(empty) / n;
+  point.reject_rate = point.bowtie_rate + point.empty_rate;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  dp::bench::print_header("Ablation — topology pre-filter rejection rate");
+  const auto scale = dp::bench::current_scale();
+  const std::int64_t samples = 48;
+
+  std::cout << std::left << std::setw(14) << "Train iters" << std::right
+            << std::setw(14) << "rejected" << std::setw(14) << "bow-tie"
+            << std::setw(14) << "empty" << "\n"
+            << std::string(56, '-') << "\n";
+  std::ostringstream csv;
+  csv << "train_iterations,reject_rate,bowtie_rate,empty_rate\n";
+  for (const std::int64_t iters :
+       {std::int64_t{0}, scale.train_iterations / 4,
+        scale.train_iterations}) {
+    const auto point = measure(iters, samples);
+    std::cout << std::left << std::setw(14) << point.train_iterations
+              << std::right << std::setw(13) << std::fixed
+              << std::setprecision(1) << point.reject_rate * 100.0 << "%"
+              << std::setw(13) << point.bowtie_rate * 100.0 << "%"
+              << std::setw(13) << point.empty_rate * 100.0 << "%" << "\n";
+    csv << point.train_iterations << ',' << point.reject_rate << ','
+        << point.bowtie_rate << ',' << point.empty_rate << "\n";
+  }
+  std::cout << "\nExpected shape: ~100% rejection untrained (random noise is "
+            << "full of bow-ties) collapsing with training; the paper "
+            << "reports < 0.1% at 0.5M iterations on 8 GPUs.\n";
+  dp::io::write_text_file(
+      dp::bench::output_directory() + "/ablation_prefilter.csv", csv.str());
+  return 0;
+}

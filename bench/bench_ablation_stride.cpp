@@ -1,0 +1,85 @@
+// Ablation — strided (DDIM-style) fast sampling.
+//
+// The paper cites DDIM [12] as the fast-sampling counterpart of its DDPM
+// backbone; this repository implements the discrete-state analogue: the
+// reverse chain jumps k -> k - stride using the composite transition
+// posterior. This bench sweeps the stride and reports per-topology wall
+// time (network evaluations drop proportionally) against sample quality
+// (pre-filter pass rate and prefix-legality through the solver).
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "io/io.h"
+#include "layout/deep_squish.h"
+#include "legalize/solver.h"
+
+namespace dp = diffpattern;
+
+int main() {
+  dp::bench::print_header("Ablation — strided fast sampling (DDIM-style)");
+  auto& pipeline = dp::bench::shared_trained_pipeline();
+  const auto& cfg = pipeline.config();
+  dp::diffusion::BinarySchedule schedule(cfg.schedule);
+  dp::layout::DeepSquishConfig fold;
+  fold.channels = cfg.channels;
+  const auto side = cfg.folded_side();
+  const std::int64_t samples = 32;
+
+  std::cout << std::left << std::setw(10) << "stride" << std::right
+            << std::setw(12) << "net evals" << std::setw(16) << "s/topology"
+            << std::setw(18) << "prefilter pass" << std::setw(14)
+            << "legalized" << "\n"
+            << std::string(70, '-') << "\n";
+  std::ostringstream csv;
+  csv << "stride,net_evals,seconds_per_topology,prefilter_pass,legalized\n";
+  for (const std::int64_t stride : {1, 2, 4, 8}) {
+    dp::common::Rng rng(31);
+    dp::common::Timer timer;
+    const auto batch = dp::diffusion::sample_strided(
+        pipeline.model(), schedule, samples, side, side, stride,
+        dp::diffusion::SamplerConfig{}, rng);
+    const double per_topology =
+        timer.seconds() / static_cast<double>(samples);
+
+    std::int64_t pass = 0;
+    std::int64_t legalized = 0;
+    dp::common::Rng solve_rng(32);
+    for (std::int64_t i = 0; i < samples; ++i) {
+      dp::tensor::Tensor one({cfg.channels, side, side});
+      std::copy(batch.data() + i * one.numel(),
+                batch.data() + (i + 1) * one.numel(), one.data());
+      const auto topology = dp::layout::unfold_topology(one, fold);
+      if (dp::legalize::prefilter_topology(topology) !=
+          dp::legalize::PrefilterVerdict::ok) {
+        continue;
+      }
+      ++pass;
+      const auto result = dp::legalize::legalize_topology(
+          topology, cfg.datagen.rules, cfg.datagen.tile, cfg.datagen.tile,
+          dp::legalize::SolverConfig{}, solve_rng,
+          &pipeline.dataset().library);
+      legalized += result.success ? 1 : 0;
+    }
+    const auto evals = (schedule.steps() + stride - 1) / stride;
+    std::cout << std::left << std::setw(10) << stride << std::right
+              << std::setw(12) << evals << std::setw(16) << std::fixed
+              << std::setprecision(4) << per_topology << std::setw(17)
+              << std::setprecision(1)
+              << 100.0 * static_cast<double>(pass) /
+                     static_cast<double>(samples)
+              << "%" << std::setw(14) << legalized << "\n";
+    csv << stride << ',' << evals << ',' << per_topology << ','
+        << static_cast<double>(pass) / static_cast<double>(samples) << ','
+        << legalized << "\n";
+  }
+  std::cout << "\nExpected shape: wall time scales ~1/stride (network "
+            << "evaluations dominate); sample quality degrades gracefully "
+            << "for small strides — the DDIM trade-off on a discrete state "
+            << "space.\n";
+  dp::io::write_text_file(
+      dp::bench::output_directory() + "/ablation_stride.csv", csv.str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared configuration and caching for the experiment harnesses.
+//
+// Every bench binary drives the same scaled DiffPattern instance; the
+// trained diffusion checkpoint is cached under bench_out/ so that the first
+// bench to run pays the training cost and the rest reload it. Set
+// DP_BENCH_SCALE=full for a larger (slower) configuration; the default
+// "quick" scale keeps each binary in the tens of seconds on one CPU core.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace diffpattern::bench {
+
+struct BenchScale {
+  std::string name;
+  std::int64_t dataset_tiles;
+  std::int64_t train_iterations;
+  std::int64_t diffusion_steps;
+  std::int64_t model_channels;
+  std::int64_t table1_topologies;     // Per-method generation count.
+  std::int64_t diffpattern_l_geometries;
+  std::int64_t autoencoder_train_iterations;
+  std::int64_t gan_train_iterations;
+  std::int64_t transformer_train_iterations;
+};
+
+/// Reads DP_BENCH_SCALE (quick | full); defaults to quick.
+BenchScale current_scale();
+
+/// Output directory for artifacts (created on demand).
+std::string output_directory();
+
+/// The canonical bench pipeline configuration for the current scale.
+core::PipelineConfig bench_pipeline_config();
+
+/// Returns a pipeline whose diffusion model is trained, using the cached
+/// checkpoint when one exists for this scale. `log` gets one-line progress
+/// messages.
+core::Pipeline& shared_trained_pipeline();
+
+/// Prints a horizontal rule + title to stdout (uniform bench headers).
+void print_header(const std::string& title);
+
+}  // namespace diffpattern::bench

@@ -1,0 +1,127 @@
+// Fig. 5 — Deep Squish Pattern vs naive concatenation (representation
+// ablation).
+//
+// Demonstrates the paper's two arguments quantitatively:
+//   1. State-space size: the folded tensor keeps a 2-state alphabet per
+//      entry regardless of C, while packing a patch into one integer needs
+//      2^C states (and gives bit i a weight of 2^i).
+//   2. Compute scaling: diffusion-model step time is driven by the SPATIAL
+//      input size far more than by channel count, so folding a 16x16 matrix
+//      to 4x8x8 or 16x4x4 buys real speed at identical information content.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "diffusion/diffusion.h"
+#include "io/io.h"
+#include "layout/deep_squish.h"
+
+namespace dp = diffpattern;
+
+namespace {
+
+struct ConfigPoint {
+  std::int64_t channels;
+  std::int64_t side;         // Folded spatial side M.
+  double step_seconds;       // Training-step wall time.
+  std::int64_t naive_states; // 2^C for the packed alternative.
+};
+
+double measure_step_seconds(std::int64_t channels, std::int64_t side,
+                            std::int64_t iters) {
+  dp::unet::UNetConfig cfg;
+  cfg.in_channels = channels;
+  cfg.out_channels = 2 * channels;
+  cfg.model_channels = 16;
+  cfg.channel_mult = {1, 2};
+  cfg.num_res_blocks = 1;
+  cfg.attention_levels = {1};
+  cfg.dropout = 0.0F;
+  dp::unet::UNet model(cfg, 1);
+  dp::diffusion::BinarySchedule schedule(
+      dp::diffusion::ScheduleConfig{.steps = 40});
+  dp::diffusion::DiffusionTrainer trainer(
+      model, schedule, dp::diffusion::LossConfig{},
+      dp::nn::AdamConfig{.learning_rate = 1e-3F, .grad_clip_norm = 1.0F});
+  dp::common::Rng rng(7);
+  dp::tensor::Tensor batch({8, channels, side, side});
+  for (std::int64_t i = 0; i < batch.numel(); ++i) {
+    batch[i] = rng.bernoulli(0.3) ? 1.0F : 0.0F;
+  }
+  trainer.step(batch, rng);  // Warm-up (excluded).
+  dp::common::Timer timer;
+  for (std::int64_t i = 0; i < iters; ++i) {
+    trainer.step(batch, rng);
+  }
+  return timer.seconds() / static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main() {
+  dp::bench::print_header(
+      "Fig. 5 — Deep Squish representation ablation (state space & compute)");
+
+  // All configurations encode the SAME 16x16 binary topology matrix.
+  const std::int64_t grid = 16;
+  std::vector<ConfigPoint> points;
+  for (const std::int64_t channels : {1, 4, 16}) {
+    dp::layout::DeepSquishConfig fold;
+    fold.channels = channels;
+    const auto side = grid / fold.patch_side();
+    ConfigPoint point;
+    point.channels = channels;
+    point.side = side;
+    point.step_seconds = measure_step_seconds(channels, side, 6);
+    point.naive_states = std::int64_t{1} << channels;
+    points.push_back(point);
+  }
+
+  std::cout << std::left << std::setw(22) << "Representation" << std::right
+            << std::setw(10) << "Input" << std::setw(14) << "States/entry"
+            << std::setw(16) << "Naive 2^C" << std::setw(16)
+            << "Step time (s)" << "\n"
+            << std::string(78, '-') << "\n";
+  for (const auto& point : points) {
+    std::ostringstream name;
+    name << "fold C=" << point.channels;
+    std::ostringstream input;
+    input << point.channels << "x" << point.side << "x" << point.side;
+    std::cout << std::left << std::setw(22) << name.str() << std::right
+              << std::setw(10) << input.str() << std::setw(14) << 2
+              << std::setw(16) << point.naive_states << std::setw(16)
+              << std::fixed << std::setprecision(4) << point.step_seconds
+              << "\n";
+  }
+  const double speedup =
+      points.front().step_seconds / points.back().step_seconds;
+  std::cout << "\nFolding 1x16x16 -> 16x4x4 speeds one training step by "
+            << std::setprecision(2) << speedup
+            << "x at identical information content, while the naive packed"
+            << " encoding would need " << points.back().naive_states
+            << " states per entry (bit 0 weight 1, bit "
+            << points.back().channels - 1 << " weight "
+            << (std::int64_t{1} << (points.back().channels - 1)) << ").\n";
+
+  // Round-trip sanity on a real dataset topology (lossless claim).
+  auto& pipeline = dp::bench::shared_trained_pipeline();
+  const auto& topo = pipeline.dataset().patterns.front().topology;
+  dp::layout::DeepSquishConfig fold;
+  fold.channels = 4;
+  const auto folded = dp::layout::fold_topology(topo, fold);
+  const auto unfolded = dp::layout::unfold_topology(folded, fold);
+  std::cout << "Lossless round-trip on a dataset topology: "
+            << (unfolded == topo ? "OK" : "FAILED") << "\n";
+
+  std::ostringstream csv;
+  csv << "channels,side,states_per_entry,naive_states,step_seconds\n";
+  for (const auto& point : points) {
+    csv << point.channels << ',' << point.side << ",2," << point.naive_states
+        << ',' << point.step_seconds << "\n";
+  }
+  dp::io::write_text_file(
+      dp::bench::output_directory() + "/fig5_deepsquish.csv", csv.str());
+  return 0;
+}

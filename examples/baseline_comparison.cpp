@@ -1,0 +1,89 @@
+// Baseline comparison: why thresholded continuous generators lose legality.
+//
+// Trains the VCAE baseline and the discrete diffusion generator on the same
+// synthetic dataset for a comparable budget, then contrasts the legality of
+// their pattern libraries (baseline: dataset-sampled deltas, no solver;
+// DiffPattern: white-box assessment). A compact, runnable version of the
+// Table I argument.
+#include <iomanip>
+#include <iostream>
+
+#include "baselines/autoencoder.h"
+#include "core/pipeline.h"
+#include "drc/checker.h"
+
+namespace dp = diffpattern;
+
+int main() {
+  dp::core::PipelineConfig cfg;
+  cfg.datagen.quantum = 64;  // Denser tiles help both methods learn.
+  cfg.datagen.min_shapes = 4;
+  cfg.datagen.max_shapes = 9;
+  cfg.datagen.extend_probability = 0.5;
+  cfg.dataset_tiles = 96;
+  cfg.grid_side = 16;
+  cfg.channels = 4;
+  cfg.schedule.steps = 40;
+  cfg.model_channels = 16;
+  cfg.train_iterations = 600;
+  cfg.batch_size = 8;
+  cfg.seed = 55;
+
+  dp::core::Pipeline pipeline(cfg);
+  const auto& dataset = pipeline.dataset();
+  dp::common::Rng rng(3);
+
+  std::cout << "Training VCAE baseline...\n";
+  dp::baselines::AutoencoderConfig vcae_cfg;
+  vcae_cfg.variational = true;
+  dp::baselines::ConvAutoencoder vcae(vcae_cfg, dataset.fold,
+                                      cfg.folded_side(), 1);
+  vcae.train(dataset, 1500, rng);
+
+  std::cout << "Training DiffPattern...\n";
+  pipeline.train();
+
+  const std::int64_t n = 48;
+  // VCAE: thresholded decode + naive dataset deltas.
+  const auto vcae_batch = vcae.generate(n, rng);
+  std::vector<dp::layout::SquishPattern> vcae_patterns;
+  for (const auto& topology : vcae_batch.topologies) {
+    vcae_patterns.push_back(dp::core::assign_library_deltas(
+        topology, dataset.library, cfg.datagen.tile, cfg.datagen.tile, rng));
+  }
+  const auto vcae_eval =
+      dp::core::evaluate_patterns(vcae_patterns, cfg.datagen.rules);
+
+  // DiffPattern: discrete sampling + white-box assessment.
+  const auto report = pipeline.generate(n, 1);
+  const auto dp_eval =
+      dp::core::evaluate_patterns(report.patterns, cfg.datagen.rules);
+
+  std::cout << "\n" << std::left << std::setw(16) << "Method" << std::right
+            << std::setw(12) << "patterns" << std::setw(10) << "legal"
+            << std::setw(12) << "legality" << std::setw(12) << "diversity"
+            << "\n" << std::string(62, '-') << "\n";
+  const auto row = [](const std::string& name, std::int64_t patterns,
+                      std::int64_t legal, double diversity) {
+    std::cout << std::left << std::setw(16) << name << std::right
+              << std::setw(12) << patterns << std::setw(10) << legal
+              << std::setw(11) << std::fixed << std::setprecision(1)
+              << (patterns > 0
+                      ? 100.0 * static_cast<double>(legal) /
+                            static_cast<double>(patterns)
+                      : 0.0)
+              << "%" << std::setw(12) << std::setprecision(3) << diversity
+              << "\n";
+  };
+  row("VCAE", vcae_eval.total_patterns, vcae_eval.legal_patterns,
+      vcae_eval.diversity);
+  row("DiffPattern-S", dp_eval.total_patterns, dp_eval.legal_patterns,
+      dp_eval.diversity);
+
+  std::cout << "\nVCAE emits whatever the threshold produces — topology-level"
+            << " violations (width-1 runs, bow-ties) plus naive geometry "
+            << "make many patterns illegal. DiffPattern emits only patterns "
+            << "that passed the white-box assessment: fewer may be emitted, "
+            << "but 100% of them are legal.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quickstart: the squish representation, a miniature training run, and the
+// full generate -> legalize -> verify loop in one file.
+//
+//   $ ./examples/quickstart
+//
+// Walks through:
+//   1. Encoding a hand-built layout as a squish pattern (paper Fig. 2).
+//   2. Folding it into a Deep Squish tensor (paper Sec. III-B).
+//   3. Training a small discrete diffusion model on synthetic tiles.
+//   4. Sampling topologies, running the white-box legal assessment, and
+//      verifying every emitted pattern with the DRC.
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "drc/checker.h"
+#include "io/io.h"
+#include "layout/deep_squish.h"
+
+namespace dp = diffpattern;
+
+int main() {
+  std::cout << "== 1. Squish pattern representation ==\n";
+  dp::layout::Layout layout;
+  layout.width = 2048;
+  layout.height = 2048;
+  layout.rects.push_back(dp::geometry::Rect{128, 256, 1024, 512});
+  layout.rects.push_back(dp::geometry::Rect{128, 768, 512, 1664});
+  layout.rects.push_back(dp::geometry::Rect{1280, 896, 1920, 1408});
+
+  const auto squish = dp::layout::extract_squish(layout);
+  std::cout << "Topology matrix (" << squish.topology.rows() << " x "
+            << squish.topology.cols() << "):\n"
+            << squish.topology.to_ascii() << "delta_x (nm):";
+  for (const auto d : squish.dx) {
+    std::cout << ' ' << d;
+  }
+  std::cout << "\ndelta_y (nm):";
+  for (const auto d : squish.dy) {
+    std::cout << ' ' << d;
+  }
+  const auto restored = dp::layout::restore_layout(squish);
+  std::cout << "\nLossless restore: "
+            << (dp::layout::same_layout(squish,
+                                        dp::layout::extract_squish(restored))
+                    ? "OK"
+                    : "FAILED")
+            << "\n\n";
+
+  std::cout << "== 2. Deep Squish folding ==\n";
+  const auto padded = dp::layout::pad_to(squish, 16, 16);
+  dp::layout::DeepSquishConfig fold;
+  fold.channels = 4;
+  const auto tensor = dp::layout::fold_topology(padded.topology, fold);
+  std::cout << "Padded 16x16 matrix folds to a " << tensor.shape_string()
+            << " binary tensor (sqrt(C)=2 patches -> channels).\n";
+  std::cout << "Round trip lossless: "
+            << (dp::layout::unfold_topology(tensor, fold) == padded.topology
+                    ? "OK"
+                    : "FAILED")
+            << "\n\n";
+
+  std::cout << "== 3. Training a miniature discrete diffusion model ==\n";
+  dp::core::PipelineConfig cfg;
+  cfg.dataset_tiles = 64;
+  cfg.grid_side = 16;
+  cfg.channels = 4;
+  cfg.schedule.steps = 30;
+  cfg.model_channels = 16;
+  cfg.train_iterations = 300;
+  cfg.batch_size = 8;
+  cfg.seed = 7;
+  dp::core::Pipeline pipeline(cfg);
+  pipeline.train([](std::int64_t it, const dp::diffusion::LossBreakdown& l) {
+    if ((it + 1) % 100 == 0) {
+      std::cout << "  iter " << (it + 1) << "  loss " << l.total << "\n";
+    }
+  });
+
+  std::cout << "\n== 4. Generate, legalize, verify ==\n";
+  const auto report = pipeline.generate(/*topologies=*/8);
+  std::cout << "Sampled 8 topologies: " << report.prefilter_rejected
+            << " rejected by the pre-filter, " << report.solver_rejected
+            << " unsolvable, " << report.patterns.size()
+            << " legal patterns emitted.\n";
+  std::int64_t clean = 0;
+  for (const auto& pattern : report.patterns) {
+    clean += dp::drc::check_pattern(pattern, cfg.datagen.rules).clean();
+  }
+  std::cout << "DRC verification: " << clean << "/" << report.patterns.size()
+            << " clean (the white-box assessment guarantees 100% of emitted "
+               "patterns).\n";
+  if (!report.patterns.empty()) {
+    const auto dir = dp::io::ensure_directory("example_out");
+    dp::io::write_pattern_pgm(dir + "/quickstart_pattern.pgm",
+                              report.patterns.front(), 256);
+    std::cout << "First pattern rendered to " << dir
+              << "/quickstart_pattern.pgm\n";
+    std::cout << "Its topology:\n"
+              << report.patterns.front().topology.to_ascii();
+  }
+  return 0;
+}

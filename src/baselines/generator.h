@@ -1,0 +1,31 @@
+// Common interface for the baseline topology generators of Table I.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "geometry/grid.h"
+
+namespace diffpattern::baselines {
+
+struct GenerationBatch {
+  std::vector<geometry::BinaryGrid> topologies;
+  /// Sequences/decodes that failed to produce a topology (counted as
+  /// illegal patterns in the Table I accounting).
+  std::int64_t invalid_count = 0;
+};
+
+class TopologyGenerator {
+ public:
+  virtual ~TopologyGenerator() = default;
+
+  virtual std::string name() const = 0;
+  virtual void train(const datagen::Dataset& dataset,
+                     std::int64_t iterations, common::Rng& rng) = 0;
+  virtual GenerationBatch generate(std::int64_t count, common::Rng& rng) = 0;
+};
+
+}  // namespace diffpattern::baselines

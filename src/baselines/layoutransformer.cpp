@@ -1,0 +1,396 @@
+#include "baselines/layoutransformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+#include "geometry/components.h"
+#include "nn/ops.h"
+
+namespace diffpattern::baselines {
+
+using geometry::BinaryGrid;
+using nn::Var;
+using tensor::Tensor;
+
+// ---- tokenizer --------------------------------------------------------------
+
+PolygonTokenizer::PolygonTokenizer(std::int64_t grid_side)
+    : grid_side_(grid_side) {
+  DP_REQUIRE(grid_side >= 2, "PolygonTokenizer: grid side too small");
+}
+
+std::int64_t PolygonTokenizer::coord_token(std::int64_t value) const {
+  DP_REQUIRE(value >= 0 && value <= grid_side_,
+             "coord_token: value outside [0, G]");
+  return 4 + value;
+}
+
+std::int64_t PolygonTokenizer::edge_token(std::int64_t direction,
+                                          std::int64_t length) const {
+  DP_REQUIRE(direction >= 0 && direction < 4, "edge_token: bad direction");
+  DP_REQUIRE(length >= 1 && length <= grid_side_, "edge_token: bad length");
+  return 5 + grid_side_ + direction * grid_side_ + (length - 1);
+}
+
+std::vector<std::int64_t> PolygonTokenizer::encode(
+    const BinaryGrid& topology) const {
+  DP_REQUIRE(topology.rows() == grid_side_ && topology.cols() == grid_side_,
+             "encode: topology size mismatch");
+  std::vector<std::int64_t> tokens = {kBos};
+  const auto analysis = geometry::analyze_components(topology);
+  std::vector<std::int64_t> order(analysis.components.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::int64_t>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    const auto& ca = analysis.components[static_cast<std::size_t>(a)];
+    const auto& cb = analysis.components[static_cast<std::size_t>(b)];
+    return std::tie(ca.min_row, ca.min_col) < std::tie(cb.min_row, cb.min_col);
+  });
+  for (const auto id : order) {
+    const auto loop = geometry::trace_outer_boundary(analysis, id);
+    tokens.push_back(coord_token(loop.front().x));
+    tokens.push_back(coord_token(loop.front().y));
+    for (std::size_t i = 0; i < loop.size(); ++i) {
+      const auto& a = loop[i];
+      const auto& b = loop[(i + 1) % loop.size()];
+      std::int64_t direction = -1;
+      std::int64_t length = 0;
+      if (b.x > a.x) {
+        direction = 0;
+        length = b.x - a.x;
+      } else if (b.y > a.y) {
+        direction = 1;
+        length = b.y - a.y;
+      } else if (b.x < a.x) {
+        direction = 2;
+        length = a.x - b.x;
+      } else {
+        direction = 3;
+        length = a.y - b.y;
+      }
+      tokens.push_back(edge_token(direction, length));
+    }
+    tokens.push_back(kSep);
+  }
+  tokens.push_back(kEos);
+  return tokens;
+}
+
+std::optional<BinaryGrid> PolygonTokenizer::decode(
+    const std::vector<std::int64_t>& tokens) const {
+  BinaryGrid grid(grid_side_, grid_side_);
+  const auto coord_base = 4;
+  const auto edge_base = 5 + grid_side_;
+  std::size_t i = 0;
+  if (i < tokens.size() && tokens[i] == kBos) {
+    ++i;
+  }
+  while (i < tokens.size() && tokens[i] != kEos) {
+    // Parse one polygon: two coordinates then edges until SEP.
+    if (i + 1 >= tokens.size()) {
+      return std::nullopt;
+    }
+    const auto tx = tokens[i];
+    const auto ty = tokens[i + 1];
+    if (tx < coord_base || tx >= edge_base || ty < coord_base ||
+        ty >= edge_base) {
+      return std::nullopt;
+    }
+    geometry::Point pos{tx - coord_base, ty - coord_base};
+    const geometry::Point start = pos;
+    i += 2;
+    std::vector<geometry::Point> vertices = {start};
+    bool closed = false;
+    while (i < tokens.size() && tokens[i] != kSep && tokens[i] != kEos) {
+      const auto t = tokens[i];
+      if (t < edge_base || t >= vocab_size()) {
+        return std::nullopt;
+      }
+      const auto direction = (t - edge_base) / grid_side_;
+      const auto length = (t - edge_base) % grid_side_ + 1;
+      switch (direction) {
+        case 0: pos.x += length; break;
+        case 1: pos.y += length; break;
+        case 2: pos.x -= length; break;
+        default: pos.y -= length; break;
+      }
+      if (pos.x < 0 || pos.x > grid_side_ || pos.y < 0 || pos.y > grid_side_) {
+        return std::nullopt;
+      }
+      ++i;
+      if (pos == start) {
+        closed = true;
+        break;
+      }
+      vertices.push_back(pos);
+      if (vertices.size() > 64) {
+        return std::nullopt;  // Runaway boundary.
+      }
+    }
+    if (!closed || vertices.size() < 3) {
+      return std::nullopt;
+    }
+    // Skip the SEP (if present).
+    if (i < tokens.size() && tokens[i] == kSep) {
+      ++i;
+    }
+    // Rasterize with even-odd scan fill using the vertical edges.
+    vertices.push_back(start);  // Close the ring for edge iteration.
+    for (std::int64_t row = 0; row < grid_side_; ++row) {
+      const double y = static_cast<double>(row) + 0.5;
+      std::vector<std::int64_t> crossings;
+      for (std::size_t v = 0; v + 1 < vertices.size(); ++v) {
+        const auto& a = vertices[v];
+        const auto& b = vertices[v + 1];
+        if (a.x != b.x) {
+          continue;  // Horizontal edge.
+        }
+        const auto y0 = std::min(a.y, b.y);
+        const auto y1 = std::max(a.y, b.y);
+        if (static_cast<double>(y0) < y && y < static_cast<double>(y1)) {
+          crossings.push_back(a.x);
+        }
+      }
+      if (crossings.size() % 2 != 0) {
+        return std::nullopt;  // Self-intersecting / malformed boundary.
+      }
+      std::sort(crossings.begin(), crossings.end());
+      for (std::size_t v = 0; v + 1 < crossings.size(); v += 2) {
+        for (auto col = crossings[v]; col < crossings[v + 1]; ++col) {
+          grid.set(row, col, 1);
+        }
+      }
+    }
+  }
+  if (grid.popcount() == 0) {
+    return std::nullopt;
+  }
+  return grid;
+}
+
+// ---- model -----------------------------------------------------------------
+
+struct LayouTransformer::Net {
+  nn::ParamRegistry registry;
+  nn::Embedding token_emb;
+  nn::Embedding pos_emb;
+  struct Block {
+    nn::LayerNorm ln1;
+    nn::Linear wq;
+    nn::Linear wk;
+    nn::Linear wv;
+    nn::Linear wo;
+    nn::LayerNorm ln2;
+    nn::Linear fc1;
+    nn::Linear fc2;
+    Block(nn::ParamRegistry& reg, common::Rng& rng, const std::string& name,
+          std::int64_t d)
+        : ln1(reg, name + ".ln1", d),
+          wq(reg, rng, name + ".wq", d, d),
+          wk(reg, rng, name + ".wk", d, d),
+          wv(reg, rng, name + ".wv", d, d),
+          wo(reg, rng, name + ".wo", d, d),
+          ln2(reg, name + ".ln2", d),
+          fc1(reg, rng, name + ".fc1", d, 4 * d),
+          fc2(reg, rng, name + ".fc2", 4 * d, d) {}
+  };
+  std::vector<Block> blocks;
+  nn::LayerNorm ln_f;
+  nn::Linear head;
+
+  Net(common::Rng& rng, const TransformerConfig& cfg, std::int64_t vocab)
+      : token_emb(registry, rng, "token_emb", vocab, cfg.d_model),
+        pos_emb(registry, rng, "pos_emb", cfg.max_len, cfg.d_model),
+        ln_f(registry, "ln_f", cfg.d_model),
+        head(registry, rng, "head", cfg.d_model, vocab) {
+    for (std::int64_t l = 0; l < cfg.layers; ++l) {
+      blocks.emplace_back(registry, rng, "block" + std::to_string(l),
+                          cfg.d_model);
+    }
+  }
+};
+
+LayouTransformer::LayouTransformer(TransformerConfig config,
+                                   std::int64_t grid_side, std::uint64_t seed)
+    : config_(config), tokenizer_(grid_side) {
+  DP_REQUIRE(config_.d_model % config_.heads == 0,
+             "LayouTransformer: heads must divide d_model");
+  common::Rng rng(seed);
+  net_ = std::make_unique<Net>(rng, config_, tokenizer_.vocab_size());
+  nn::AdamConfig adam;
+  adam.learning_rate = config_.learning_rate;
+  adam.grad_clip_norm = 1.0F;
+  optimizer_ = std::make_unique<nn::Adam>(net_->registry.params(), adam);
+}
+
+LayouTransformer::~LayouTransformer() = default;
+
+Var LayouTransformer::forward(
+    const std::vector<std::vector<std::int64_t>>& tokens) const {
+  const auto n = static_cast<std::int64_t>(tokens.size());
+  DP_REQUIRE(n >= 1, "forward: empty batch");
+  const auto t = static_cast<std::int64_t>(tokens.front().size());
+  DP_REQUIRE(t >= 1 && t <= config_.max_len, "forward: bad sequence length");
+  std::vector<std::int64_t> flat_ids;
+  std::vector<std::int64_t> pos_ids;
+  flat_ids.reserve(static_cast<std::size_t>(n * t));
+  pos_ids.reserve(static_cast<std::size_t>(n * t));
+  for (const auto& seq : tokens) {
+    DP_REQUIRE(static_cast<std::int64_t>(seq.size()) == t,
+               "forward: ragged batch");
+    for (std::int64_t p = 0; p < t; ++p) {
+      flat_ids.push_back(seq[static_cast<std::size_t>(p)]);
+      pos_ids.push_back(p);
+    }
+  }
+  const auto d = config_.d_model;
+  const auto h = config_.heads;
+  const auto dh = d / h;
+  Var x = nn::add(net_->token_emb(flat_ids), net_->pos_emb(pos_ids));
+  x = nn::reshape(x, {n, t, d});
+
+  // Causal mask [T, T] broadcast by tiling to [N*H, T, T].
+  Tensor mask({n * h, t, t}, 0.0F);
+  for (std::int64_t b = 0; b < n * h; ++b) {
+    for (std::int64_t i = 0; i < t; ++i) {
+      for (std::int64_t j = i + 1; j < t; ++j) {
+        mask.at({b, i, j}) = -1e9F;
+      }
+    }
+  }
+
+  for (auto& block : net_->blocks) {
+    Var normed = block.ln1(x);
+    Var flat = nn::reshape(normed, {n * t, d});
+    const auto split_heads = [&](const Var& proj) {
+      // [N*T, D] -> [N, T, H, dh] -> [N, H, T, dh] -> [N*H, T, dh]
+      return nn::reshape(
+          nn::permute(nn::reshape(proj, {n, t, h, dh}), {0, 2, 1, 3}),
+          {n * h, t, dh});
+    };
+    Var q = split_heads(block.wq(flat));
+    Var k = split_heads(block.wk(flat));
+    Var v = split_heads(block.wv(flat));
+    Var scores = nn::scale(nn::bmm(q, nn::permute(k, {0, 2, 1})),
+                           1.0F / std::sqrt(static_cast<float>(dh)));
+    Var attn = nn::softmax_last(nn::add_const(scores, mask));
+    Var mixed = nn::bmm(attn, v);  // [N*H, T, dh]
+    mixed = nn::reshape(
+        nn::permute(nn::reshape(mixed, {n, h, t, dh}), {0, 2, 1, 3}),
+        {n * t, d});
+    x = nn::add(x, nn::reshape(block.wo(mixed), {n, t, d}));
+
+    Var mlp_in = nn::reshape(block.ln2(x), {n * t, d});
+    Var mlp = block.fc2(nn::gelu(block.fc1(mlp_in)));
+    x = nn::add(x, nn::reshape(mlp, {n, t, d}));
+  }
+  Var logits = net_->head(nn::reshape(net_->ln_f(x), {n * t, d}));
+  return nn::reshape(logits, {n, t, tokenizer_.vocab_size()});
+}
+
+void LayouTransformer::train(const datagen::Dataset& dataset,
+                             std::int64_t iterations, common::Rng& rng) {
+  // Pre-encode all training topologies, dropping over-long sequences.
+  std::vector<std::vector<std::int64_t>> sequences;
+  for (const auto idx : dataset.train_indices) {
+    auto tokens = tokenizer_.encode(dataset.patterns[idx].topology);
+    if (static_cast<std::int64_t>(tokens.size()) <= config_.max_len) {
+      sequences.push_back(std::move(tokens));
+    }
+  }
+  DP_REQUIRE(!sequences.empty(),
+             "LayouTransformer::train: no sequence fits max_len");
+
+  const auto vocab = tokenizer_.vocab_size();
+  for (std::int64_t it = 0; it < iterations; ++it) {
+    // Assemble a batch padded to the longest member.
+    std::vector<std::vector<std::int64_t>> batch;
+    std::int64_t t_max = 2;
+    for (std::int64_t b = 0; b < config_.batch_size; ++b) {
+      const auto& seq = sequences[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(sequences.size()) - 1))];
+      t_max = std::max(t_max, static_cast<std::int64_t>(seq.size()));
+      batch.push_back(seq);
+    }
+    for (auto& seq : batch) {
+      seq.resize(static_cast<std::size_t>(t_max), PolygonTokenizer::kPad);
+    }
+
+    const auto n = static_cast<std::int64_t>(batch.size());
+    const auto t_in = t_max - 1;
+    std::vector<std::vector<std::int64_t>> inputs(batch.size());
+    Tensor one_hot({n, t_in, vocab}, 0.0F);
+    Tensor target_mask({n, t_in, vocab}, 0.0F);
+    double mask_total = 0.0;
+    for (std::int64_t b = 0; b < n; ++b) {
+      auto& in = inputs[static_cast<std::size_t>(b)];
+      in.assign(batch[static_cast<std::size_t>(b)].begin(),
+                batch[static_cast<std::size_t>(b)].end() - 1);
+      for (std::int64_t p = 0; p < t_in; ++p) {
+        const auto target = batch[static_cast<std::size_t>(b)]
+                                 [static_cast<std::size_t>(p + 1)];
+        if (target == PolygonTokenizer::kPad) {
+          continue;
+        }
+        one_hot.at({b, p, target}) = 1.0F;
+        target_mask.at({b, p, target}) = 1.0F;
+        mask_total += 1.0;
+      }
+    }
+
+    optimizer_->zero_grad();
+    Var logits = forward(inputs);
+    Var logp = nn::log_clamped(nn::softmax_last(logits), 1e-9F);
+    Var picked = nn::mul_const(logp, one_hot);
+    Var loss = nn::scale(nn::sum_all(picked),
+                         -1.0F / static_cast<float>(mask_total));
+    loss.backward();
+    optimizer_->step();
+  }
+}
+
+GenerationBatch LayouTransformer::generate(std::int64_t count,
+                                           common::Rng& rng) {
+  nn::NoGradGuard no_grad;
+  GenerationBatch out;
+  const auto vocab = tokenizer_.vocab_size();
+  for (std::int64_t s = 0; s < count; ++s) {
+    std::vector<std::int64_t> tokens = {PolygonTokenizer::kBos};
+    while (static_cast<std::int64_t>(tokens.size()) < config_.max_len) {
+      Var logits = forward({tokens});
+      const auto t = static_cast<std::int64_t>(tokens.size());
+      std::vector<double> weights(static_cast<std::size_t>(vocab));
+      double max_logit = -1e30;
+      for (std::int64_t v = 0; v < vocab; ++v) {
+        max_logit = std::max(
+            max_logit,
+            static_cast<double>(logits.value().at({0, t - 1, v})));
+      }
+      for (std::int64_t v = 0; v < vocab; ++v) {
+        const double z =
+            (static_cast<double>(logits.value().at({0, t - 1, v})) -
+             max_logit) /
+            config_.temperature;
+        weights[static_cast<std::size_t>(v)] =
+            v == PolygonTokenizer::kPad ? 0.0 : std::exp(z);
+      }
+      const auto next =
+          static_cast<std::int64_t>(rng.categorical(weights));
+      tokens.push_back(next);
+      if (next == PolygonTokenizer::kEos) {
+        break;
+      }
+    }
+    auto decoded = tokenizer_.decode(tokens);
+    if (decoded.has_value()) {
+      out.topologies.push_back(std::move(*decoded));
+    } else {
+      ++out.invalid_count;
+    }
+  }
+  return out;
+}
+
+}  // namespace diffpattern::baselines

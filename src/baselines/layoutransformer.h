@@ -1,0 +1,85 @@
+// LayouTransformer baseline ([9]): sequential layout pattern generation.
+//
+// Layout polygons are serialized as token sequences — per polygon, the
+// start corner (two coordinate tokens) followed by (direction, length) edge
+// tokens along its counter-clockwise boundary — and a decoder-only
+// transformer is trained with the next-token objective. Sampling decodes
+// autoregressively and rasterizes the predicted polygons back onto the
+// topology grid. Sequences that do not decode to closed, in-bounds polygons
+// are counted as invalid generations (they become illegal patterns in
+// Table I's accounting).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "baselines/generator.h"
+#include "nn/modules.h"
+#include "nn/optim.h"
+
+namespace diffpattern::baselines {
+
+/// Token vocabulary for a G x G topology grid.
+class PolygonTokenizer {
+ public:
+  explicit PolygonTokenizer(std::int64_t grid_side);
+
+  static constexpr std::int64_t kPad = 0;
+  static constexpr std::int64_t kBos = 1;
+  static constexpr std::int64_t kEos = 2;
+  static constexpr std::int64_t kSep = 3;
+
+  std::int64_t grid_side() const { return grid_side_; }
+  std::int64_t vocab_size() const { return 5 + 5 * grid_side_; }
+
+  std::int64_t coord_token(std::int64_t value) const;         // [0, G]
+  std::int64_t edge_token(std::int64_t direction,             // 0=E,1=N,2=W,3=S
+                          std::int64_t length) const;         // [1, G]
+
+  /// Serializes a topology into a token sequence (BOS ... EOS).
+  std::vector<std::int64_t> encode(const geometry::BinaryGrid& topology) const;
+
+  /// Parses tokens back into a topology; nullopt when the sequence is not a
+  /// valid closed in-bounds polygon set.
+  std::optional<geometry::BinaryGrid> decode(
+      const std::vector<std::int64_t>& tokens) const;
+
+ private:
+  std::int64_t grid_side_;
+};
+
+struct TransformerConfig {
+  std::int64_t d_model = 48;
+  std::int64_t heads = 2;
+  std::int64_t layers = 2;
+  std::int64_t max_len = 160;
+  float learning_rate = 1e-3F;
+  std::int64_t batch_size = 4;
+  double temperature = 1.0;
+};
+
+class LayouTransformer final : public TopologyGenerator {
+ public:
+  LayouTransformer(TransformerConfig config, std::int64_t grid_side,
+                   std::uint64_t seed);
+  ~LayouTransformer() override;
+
+  std::string name() const override { return "LayouTransformer"; }
+  void train(const datagen::Dataset& dataset, std::int64_t iterations,
+             common::Rng& rng) override;
+  GenerationBatch generate(std::int64_t count, common::Rng& rng) override;
+
+  const PolygonTokenizer& tokenizer() const { return tokenizer_; }
+
+ private:
+  struct Net;
+  /// Next-token logits for a batch of sequences [N, T] -> [N, T, V].
+  nn::Var forward(const std::vector<std::vector<std::int64_t>>& tokens) const;
+
+  TransformerConfig config_;
+  PolygonTokenizer tokenizer_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace diffpattern::baselines

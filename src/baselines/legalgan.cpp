@@ -1,0 +1,140 @@
+#include "baselines/legalgan.h"
+
+#include "common/contracts.h"
+#include "nn/ops.h"
+
+namespace diffpattern::baselines {
+
+using nn::Var;
+using tensor::Tensor;
+
+struct LegalGan::Nets {
+  nn::ParamRegistry gen_registry;
+  nn::ParamRegistry disc_registry;
+  // Generator: same-resolution conv stack (topology in -> logits out).
+  nn::Conv2d g1;
+  nn::Conv2d g2;
+  nn::Conv2d g3;
+  // Discriminator: two strided convs + linear head.
+  nn::Conv2d d1;
+  nn::Conv2d d2;
+  nn::Linear d_head;
+  std::int64_t d_flat;
+
+  Nets(common::Rng& rng, const LegalGanConfig& cfg, std::int64_t channels,
+       std::int64_t side)
+      : g1(gen_registry, rng, "g1", channels, cfg.base_channels, 3, 1, 1),
+        g2(gen_registry, rng, "g2", cfg.base_channels, cfg.base_channels, 3, 1,
+           1),
+        g3(gen_registry, rng, "g3", cfg.base_channels, channels, 3, 1, 1),
+        d1(disc_registry, rng, "d1", channels, cfg.base_channels, 3, 2, 1),
+        d2(disc_registry, rng, "d2", cfg.base_channels, 2 * cfg.base_channels,
+           3, 2, 1),
+        d_head(disc_registry, rng, "d_head",
+               2 * cfg.base_channels * (side / 4) * (side / 4), 1),
+        d_flat(2 * cfg.base_channels * (side / 4) * (side / 4)) {}
+};
+
+LegalGan::LegalGan(LegalGanConfig config, layout::DeepSquishConfig fold,
+                   std::int64_t folded_side, std::uint64_t seed)
+    : config_(config), fold_(fold), side_(folded_side) {
+  DP_REQUIRE(side_ % 4 == 0, "LegalGan: folded side must be divisible by 4");
+  common::Rng rng(seed);
+  nets_ = std::make_unique<Nets>(rng, config_, fold_.channels, side_);
+  nn::AdamConfig adam;
+  adam.learning_rate = config_.learning_rate;
+  adam.grad_clip_norm = 1.0F;
+  gen_optimizer_ =
+      std::make_unique<nn::Adam>(nets_->gen_registry.params(), adam);
+  disc_optimizer_ =
+      std::make_unique<nn::Adam>(nets_->disc_registry.params(), adam);
+}
+
+LegalGan::~LegalGan() = default;
+
+Var LegalGan::generator_logits(const Var& x) const {
+  Var h = nn::relu(nets_->g1(x));
+  h = nn::relu(nets_->g2(h));
+  return nets_->g3(h);
+}
+
+Var LegalGan::discriminator_logit(const Var& x) const {
+  Var h = nn::relu(nets_->d1(x));
+  h = nn::relu(nets_->d2(h));
+  h = nn::reshape(h, {x.dim(0), nets_->d_flat});
+  return nets_->d_head(h);
+}
+
+namespace {
+
+/// BCE-with-logits against a constant scalar target (0 or 1).
+Var bce_scalar_target(const Var& logits, float target) {
+  // softplus(z) - t * z averaged.
+  Var sp = nn::softplus(logits);
+  if (target == 0.0F) {
+    return nn::mean_all(sp);
+  }
+  return nn::mean_all(nn::sub(sp, nn::scale(logits, target)));
+}
+
+}  // namespace
+
+void LegalGan::train(const datagen::Dataset& dataset, std::int64_t iterations,
+                     common::Rng& rng) {
+  for (std::int64_t it = 0; it < iterations; ++it) {
+    const Tensor clean = dataset.sample_training_batch(config_.batch_size,
+                                                       rng);
+    Tensor corrupted = clean;
+    for (std::int64_t i = 0; i < corrupted.numel(); ++i) {
+      if (rng.bernoulli(config_.corruption_rate)) {
+        corrupted[i] = 1.0F - corrupted[i];
+      }
+    }
+
+    // --- Discriminator step (generator frozen via detach). ---
+    disc_optimizer_->zero_grad();
+    Var fake_probs = nn::sigmoid(generator_logits(Var(corrupted)));
+    Var d_fake = discriminator_logit(nn::detach(fake_probs));
+    Var d_real = discriminator_logit(Var(clean));
+    Var d_loss = nn::add(bce_scalar_target(d_real, 1.0F),
+                         bce_scalar_target(d_fake, 0.0F));
+    d_loss.backward();
+    disc_optimizer_->step();
+
+    // --- Generator step. ---
+    gen_optimizer_->zero_grad();
+    Var logits = generator_logits(Var(corrupted));
+    Var recon = nn::mean_all(
+        nn::sub(nn::softplus(logits), nn::mul_const(logits, clean)));
+    Var adv =
+        bce_scalar_target(discriminator_logit(nn::sigmoid(logits)), 1.0F);
+    Var g_loss = nn::add(recon, nn::scale(adv, config_.adv_weight));
+    g_loss.backward();
+    gen_optimizer_->step();
+  }
+}
+
+geometry::BinaryGrid LegalGan::legalize(const geometry::BinaryGrid& topology) {
+  nn::NoGradGuard no_grad;
+  Tensor folded = layout::fold_topology(topology, fold_);
+  Tensor batch({1, fold_.channels, side_, side_});
+  std::copy(folded.data(), folded.data() + folded.numel(), batch.data());
+  const Var logits = generator_logits(Var(batch));
+  Tensor out({fold_.channels, side_, side_});
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = logits.value()[i] >= 0.0F ? 1.0F : 0.0F;
+  }
+  return layout::unfold_topology(out, fold_);
+}
+
+GenerationBatch LegalGan::legalize_batch(const GenerationBatch& batch) {
+  GenerationBatch out;
+  out.invalid_count = batch.invalid_count;
+  out.topologies.reserve(batch.topologies.size());
+  for (const auto& t : batch.topologies) {
+    out.topologies.push_back(legalize(t));
+  }
+  return out;
+}
+
+}  // namespace diffpattern::baselines

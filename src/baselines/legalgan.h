@@ -1,0 +1,58 @@
+// LegalGAN baseline ([8]): a learned topology legalizer.
+//
+// An image-to-image generator is trained on (corrupted -> clean) topology
+// pairs with a reconstruction BCE plus an adversarial term from a small
+// patch discriminator (pix2pix-style). Applying it to a baseline's raw
+// output ("CAE+LegalGAN", "VCAE+LegalGAN" in Table I) improves legality but
+// — unlike DiffPattern's white-box assessment — offers no guarantee and
+// tends to shrink diversity by pulling outputs toward dataset-typical
+// shapes, which is the trade-off Table I exhibits.
+#pragma once
+
+#include <memory>
+
+#include "baselines/generator.h"
+#include "layout/deep_squish.h"
+#include "nn/modules.h"
+#include "nn/optim.h"
+
+namespace diffpattern::baselines {
+
+struct LegalGanConfig {
+  std::int64_t base_channels = 16;
+  float corruption_rate = 0.08F;  // Bit-flip probability for training pairs.
+  float adv_weight = 0.2F;        // Adversarial term weight in the G loss.
+  float learning_rate = 1e-3F;
+  std::int64_t batch_size = 8;
+};
+
+class LegalGan {
+ public:
+  LegalGan(LegalGanConfig config, layout::DeepSquishConfig fold,
+           std::int64_t folded_side, std::uint64_t seed);
+  ~LegalGan();
+
+  void train(const datagen::Dataset& dataset, std::int64_t iterations,
+             common::Rng& rng);
+
+  /// Legalizes one topology (forward + threshold). The output is a
+  /// prediction, not a guarantee.
+  geometry::BinaryGrid legalize(const geometry::BinaryGrid& topology);
+
+  /// Applies legalize() to every topology in a batch.
+  GenerationBatch legalize_batch(const GenerationBatch& batch);
+
+ private:
+  struct Nets;
+  nn::Var generator_logits(const nn::Var& x) const;
+  nn::Var discriminator_logit(const nn::Var& x) const;
+
+  LegalGanConfig config_;
+  layout::DeepSquishConfig fold_;
+  std::int64_t side_;
+  std::unique_ptr<Nets> nets_;
+  std::unique_ptr<nn::Adam> gen_optimizer_;
+  std::unique_ptr<nn::Adam> disc_optimizer_;
+};
+
+}  // namespace diffpattern::baselines

@@ -1,0 +1,33 @@
+#include "common/contracts.h"
+
+#include <sstream>
+
+namespace diffpattern::common {
+namespace {
+
+std::string format_failure(const char* kind, const char* expr,
+                           const char* file, int line,
+                           const std::string& message) {
+  std::ostringstream out;
+  out << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void throw_require_failure(const char* expr, const char* file, int line,
+                           const std::string& message) {
+  throw std::invalid_argument(
+      format_failure("DP_REQUIRE", expr, file, line, message));
+}
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  throw std::logic_error(
+      format_failure("DP_CHECK", expr, file, line, message));
+}
+
+}  // namespace diffpattern::common

@@ -1,0 +1,35 @@
+// Contract-checking macros used across the library.
+//
+// DP_REQUIRE guards public-API preconditions (throws std::invalid_argument);
+// DP_CHECK guards internal invariants (throws std::logic_error). Both stay
+// active in release builds: the experiments in bench/ depend on these
+// invariants, and their cost is negligible next to the numeric kernels.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace diffpattern::common {
+
+[[noreturn]] void throw_require_failure(const char* expr, const char* file,
+                                        int line, const std::string& message);
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& message);
+
+}  // namespace diffpattern::common
+
+#define DP_REQUIRE(expr, message)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::diffpattern::common::throw_require_failure(#expr, __FILE__,       \
+                                                   __LINE__, (message));  \
+    }                                                                     \
+  } while (false)
+
+#define DP_CHECK(expr, message)                                           \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::diffpattern::common::throw_check_failure(#expr, __FILE__,         \
+                                                 __LINE__, (message));    \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,216 @@
+#include "datagen/datagen.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "drc/checker.h"
+
+namespace diffpattern::datagen {
+
+using geometry::Rect;
+using layout::Layout;
+using layout::SquishPattern;
+
+namespace {
+
+Coord snap(Coord value, Coord quantum) {
+  return (value / quantum) * quantum;
+}
+
+/// True if `candidate` keeps at least space_min clearance (and thus also
+/// Euclidean corner clearance) from every rect in `placed`.
+bool clear_of(const Rect& candidate, const std::vector<Rect>& placed,
+              Coord space_min) {
+  const Rect inflated = candidate.inflated(space_min);
+  for (const auto& r : placed) {
+    if (inflated.overlaps(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Samples a legal shape dimension in [width_min, 6 * width_min], snapped.
+Coord sample_dim(const DatagenConfig& config, common::Rng& rng) {
+  const Coord lo = config.rules.width_min;
+  const Coord hi = std::min<Coord>(config.tile / 3, 6 * lo);
+  Coord d = snap(rng.uniform_int(lo, hi), config.quantum);
+  return std::max(d, lo);
+}
+
+}  // namespace
+
+Layout generate_tile(const DatagenConfig& config, common::Rng& rng) {
+  DP_REQUIRE(config.tile > 4 * config.rules.width_min,
+             "generate_tile: tile too small for the rules");
+  DP_REQUIRE(config.quantum > 0, "generate_tile: quantum must be positive");
+  for (std::int64_t tile_attempt = 0; tile_attempt < 32; ++tile_attempt) {
+    Layout layout;
+    layout.width = config.tile;
+    layout.height = config.tile;
+    const auto target_shapes =
+        rng.uniform_int(config.min_shapes, config.max_shapes);
+    std::vector<Rect> placed;  // Flattened rects for clearance tests.
+
+    for (std::int64_t s = 0; s < target_shapes; ++s) {
+      for (std::int64_t attempt = 0; attempt < config.max_placement_attempts;
+           ++attempt) {
+        const Coord w = sample_dim(config, rng);
+        Coord h = sample_dim(config, rng);
+        // Respect the minimum area with the sampled width.
+        while (w * h < config.rules.area_min) {
+          h += config.quantum;
+        }
+        if (config.rules.has_area_max() && w * h > config.rules.area_max) {
+          continue;
+        }
+        const Coord x0 = snap(rng.uniform_int(0, config.tile - w),
+                              config.quantum);
+        const Coord y0 = snap(rng.uniform_int(0, config.tile - h),
+                              config.quantum);
+        const Rect base{x0, y0, x0 + w, y0 + h};
+        if (base.x1 > config.tile || base.y1 > config.tile ||
+            !clear_of(base, placed, config.rules.space_min)) {
+          continue;
+        }
+        layout.rects.push_back(base);
+        placed.push_back(base);
+
+        // Optional abutting extension -> L/T polygon.
+        if (rng.bernoulli(config.extend_probability)) {
+          const bool on_top = rng.bernoulli(0.5);
+          const Coord ew = std::max<Coord>(
+              config.rules.width_min,
+              snap(rng.uniform_int(config.rules.width_min, w), config.quantum));
+          const Coord eh = sample_dim(config, rng);
+          const Coord ex0 =
+              snap(base.x0 + rng.uniform_int(0, std::max<Coord>(0, w - ew)),
+                   config.quantum);
+          Rect ext;
+          if (on_top) {
+            ext = Rect{ex0, base.y1, ex0 + ew, base.y1 + eh};
+          } else {
+            ext = Rect{ex0, base.y0 - eh, ex0 + ew, base.y0};
+          }
+          // Keep the extension flush with the base's span and in-tile.
+          if (ext.x0 >= base.x0 && ext.x1 <= base.x1 && ext.y0 >= 0 &&
+              ext.y1 <= config.tile &&
+              (!config.rules.has_area_max() ||
+               base.area() + ext.area() <= config.rules.area_max)) {
+            // Clearance against everything except the base it abuts.
+            std::vector<Rect> others(placed.begin(), placed.end() - 1);
+            if (clear_of(ext, others, config.rules.space_min)) {
+              layout.rects.push_back(ext);
+              placed.push_back(ext);
+            }
+          }
+        }
+        break;
+      }
+    }
+
+    if (layout.rects.empty()) {
+      continue;
+    }
+    // Verification: construction-by-clearance should be clean, but the DRC
+    // oracle has the final word (e.g. L-extension shoulder widths).
+    if (drc::check_layout(layout, config.rules).clean()) {
+      return layout;
+    }
+  }
+  throw std::runtime_error(
+      "generate_tile: could not produce a DRC-clean tile; rules too tight "
+      "for the configured shape counts");
+}
+
+std::vector<geometry::BinaryGrid> Dataset::topologies(
+    const std::vector<std::size_t>& indices) const {
+  std::vector<geometry::BinaryGrid> out;
+  out.reserve(indices.size());
+  for (const auto i : indices) {
+    out.push_back(patterns[i].topology);
+  }
+  return out;
+}
+
+tensor::Tensor Dataset::folded_batch(
+    const std::vector<std::size_t>& indices) const {
+  DP_REQUIRE(!indices.empty(), "folded_batch: empty index list");
+  return layout::fold_batch(topologies(indices), fold);
+}
+
+tensor::Tensor Dataset::sample_training_batch(std::int64_t batch,
+                                              common::Rng& rng) const {
+  DP_REQUIRE(!train_indices.empty(), "sample_training_batch: no train split");
+  std::vector<std::size_t> picks;
+  picks.reserve(static_cast<std::size_t>(batch));
+  for (std::int64_t i = 0; i < batch; ++i) {
+    picks.push_back(train_indices[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(train_indices.size()) - 1))]);
+  }
+  return folded_batch(picks);
+}
+
+Dataset build_dataset(const DatagenConfig& config, std::int64_t tiles,
+                      std::int64_t grid_side, std::int64_t channels,
+                      double test_fraction, common::Rng& rng) {
+  DP_REQUIRE(tiles >= 1, "build_dataset: need at least one tile");
+  DP_REQUIRE(test_fraction >= 0.0 && test_fraction < 1.0,
+             "build_dataset: bad test fraction");
+  Dataset dataset;
+  dataset.config = config;
+  dataset.fold.channels = channels;
+  dataset.grid_side = grid_side;
+  const auto patch = dataset.fold.patch_side();
+  DP_REQUIRE(grid_side % patch == 0,
+             "build_dataset: grid_side must be divisible by sqrt(channels)");
+
+  const auto add_pattern = [&dataset](SquishPattern pattern) {
+    dataset.library.dx_pool.push_back(pattern.dx);
+    dataset.library.dy_pool.push_back(pattern.dy);
+    dataset.patterns.push_back(std::move(pattern));
+  };
+  while (static_cast<std::int64_t>(dataset.patterns.size()) < tiles) {
+    Layout tile = generate_tile(config, rng);
+    SquishPattern pattern = layout::extract_squish(tile);
+    if (pattern.topology.rows() > grid_side ||
+        pattern.topology.cols() > grid_side) {
+      continue;  // Too complex for the configured grid; regenerate.
+    }
+    SquishPattern padded = layout::pad_to(pattern, grid_side, grid_side);
+    if (config.augment &&
+        static_cast<std::int64_t>(dataset.patterns.size()) + 2 < tiles) {
+      // Horizontal mirror: columns (and dx) reverse.
+      SquishPattern mirrored;
+      mirrored.topology = geometry::mirrored_horizontal(padded.topology);
+      mirrored.dx.assign(padded.dx.rbegin(), padded.dx.rend());
+      mirrored.dy = padded.dy;
+      mirrored.validate();
+      add_pattern(std::move(mirrored));
+      // Transpose: axes (and delta vectors) swap.
+      SquishPattern transposed;
+      transposed.topology = geometry::transposed(padded.topology);
+      transposed.dx = padded.dy;
+      transposed.dy = padded.dx;
+      transposed.validate();
+      add_pattern(std::move(transposed));
+    }
+    add_pattern(std::move(padded));
+  }
+
+  std::vector<std::size_t> order(dataset.patterns.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  rng.shuffle(order);
+  const auto test_count = static_cast<std::size_t>(
+      static_cast<double>(order.size()) * test_fraction);
+  dataset.test_indices.assign(order.begin(),
+                              order.begin() + static_cast<std::ptrdiff_t>(
+                                                  test_count));
+  dataset.train_indices.assign(
+      order.begin() + static_cast<std::ptrdiff_t>(test_count), order.end());
+  return dataset;
+}
+
+}  // namespace diffpattern::datagen

@@ -1,0 +1,76 @@
+// Synthetic layout dataset generator.
+//
+// Substitution note (DESIGN.md Sec. 2): the paper trains on 2048x2048 nm^2
+// tiles split from the ICCAD-2014 contest layout, which is not distributable
+// here. This generator produces the same artifact type — DRC-clean Manhattan
+// metal-layer tiles with rectangles and L/T shapes of varying widths — so
+// every downstream code path (squish extraction, folding, diffusion
+// training, legalization, DRC, diversity metrics) is exercised identically.
+// Every generated tile is verified by dp_drc before it enters the dataset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "drc/rules.h"
+#include "layout/deep_squish.h"
+#include "layout/squish.h"
+#include "legalize/solver.h"
+
+namespace diffpattern::datagen {
+
+using geometry::Coord;
+
+struct DatagenConfig {
+  Coord tile = 2048;
+  drc::DesignRules rules = drc::standard_rules();
+  std::int64_t min_shapes = 2;
+  std::int64_t max_shapes = 6;
+  /// Probability that a placed rectangle grows an abutting extension
+  /// (forming an L- or T-shaped polygon).
+  double extend_probability = 0.35;
+  /// Placement coordinates snap to this quantum so scan lines coincide
+  /// across shapes (keeps topology matrices compact, like real layouts with
+  /// track-based routing).
+  Coord quantum = 64;
+  /// Placement attempts per shape before giving up on the tile.
+  std::int64_t max_placement_attempts = 64;
+  /// Add the horizontal mirror and the transpose of every tile to the
+  /// dataset (the flip/rotation augmentation DeePattern [7] motivates).
+  /// Design rules are symmetric under both, so augmented patterns stay
+  /// DRC-clean. Triples the dataset for the same generation cost.
+  bool augment = false;
+};
+
+/// Generates one DRC-clean tile. Throws only on configuration errors; tiles
+/// that fail DRC by construction are regenerated internally.
+layout::Layout generate_tile(const DatagenConfig& config, common::Rng& rng);
+
+/// A dataset of fixed-size squish patterns ready for the diffusion model.
+struct Dataset {
+  DatagenConfig config;
+  layout::DeepSquishConfig fold;
+  std::int64_t grid_side = 0;  // Padded topology side == sqrt(C) * M.
+  std::vector<layout::SquishPattern> patterns;   // All padded to grid_side.
+  legalize::DeltaLibrary library;                // Geometry pool (Solving-E).
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+
+  std::vector<geometry::BinaryGrid> topologies(
+      const std::vector<std::size_t>& indices) const;
+  /// Folded [N, C, M, M] tensor over the given pattern indices.
+  tensor::Tensor folded_batch(const std::vector<std::size_t>& indices) const;
+  /// Draws `batch` random training patterns and folds them.
+  tensor::Tensor sample_training_batch(std::int64_t batch,
+                                       common::Rng& rng) const;
+};
+
+/// Generates `tiles` tiles, extracts + pads their squish patterns to
+/// `grid_side` (tiles whose extraction exceeds grid_side are regenerated),
+/// and splits train/test (paper: 3000 of ~13869 held out; here a ratio).
+Dataset build_dataset(const DatagenConfig& config, std::int64_t tiles,
+                      std::int64_t grid_side, std::int64_t channels,
+                      double test_fraction, common::Rng& rng);
+
+}  // namespace diffpattern::datagen

@@ -1,0 +1,130 @@
+// Discrete diffusion over binary topology tensors (paper Sec. III-C).
+//
+// Pipeline:
+//   * q_sample draws x_k ~ q(x_k | x_0) in one shot via the cumulative flip
+//     probability (Eq. 10) — no need to apply k transitions.
+//   * The U-Net predicts per-entry logits of p_theta(x0_tilde | x_k); the
+//     reverse kernel p_theta(x_{k-1} | x_k) marginalizes the closed-form
+//     posterior over both x0_tilde states (Eq. 11).
+//   * The training loss is L = KL(q(x_{k-1}|x_k,x_0) || p_theta(x_{k-1}|x_k))
+//     + lambda * CE(x_0, p_theta(x0_tilde|x_k)) for k >= 2, and plain CE at
+//     k = 1 (Eq. 9 with the D3PM k=1 convention).
+//   * Sampling starts from the uniform stationary distribution and walks the
+//     reverse chain (Eq. 13).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "diffusion/schedule.h"
+#include "nn/autograd.h"
+#include "nn/optim.h"
+#include "unet/unet.h"
+
+namespace diffpattern::diffusion {
+
+struct LossConfig {
+  /// Weight of the auxiliary cross-entropy term (paper: 0.001).
+  float lambda = 0.001F;
+};
+
+struct LossBreakdown {
+  double total = 0.0;
+  double kl = 0.0;             // Mean over k>=2 entries (0 if none).
+  double cross_entropy = 0.0;  // Mean auxiliary CE over all entries.
+};
+
+/// Draws x_k ~ q(x_k | x_0) entrywise; x0 is a binary [N,C,H,W] tensor and
+/// `k` holds one step per sample.
+tensor::Tensor q_sample(const BinarySchedule& schedule,
+                        const tensor::Tensor& x0,
+                        const std::vector<std::int64_t>& k, common::Rng& rng);
+
+/// Builds the differentiable training loss for one batch. Samples per-sample
+/// steps k ~ U[1, K] and noise internally. Returns the loss Var (call
+/// backward() on it) plus a numeric breakdown for logging.
+struct LossResult {
+  nn::Var loss;
+  LossBreakdown breakdown;
+};
+LossResult diffusion_loss(unet::UNet& model, const BinarySchedule& schedule,
+                          const tensor::Tensor& x0, const LossConfig& config,
+                          common::Rng& rng);
+
+/// One training step (loss + backward + Adam step). Returns the breakdown.
+class DiffusionTrainer {
+ public:
+  DiffusionTrainer(unet::UNet& model, const BinarySchedule& schedule,
+                   LossConfig loss_config, nn::AdamConfig adam_config);
+
+  LossBreakdown step(const tensor::Tensor& x0_batch, common::Rng& rng);
+
+  std::int64_t steps_taken() const { return optimizer_.steps_taken(); }
+
+ private:
+  unet::UNet& model_;
+  const BinarySchedule& schedule_;
+  LossConfig loss_config_;
+  nn::Adam optimizer_;
+};
+
+struct SamplerConfig {
+  /// Take the argmax of p_theta(x0|x1) at the final step instead of
+  /// sampling (crisper topologies; both modes are exposed for the ablation).
+  bool final_argmax = true;
+};
+
+/// Per-step observer for the reverse chain (used by the Fig. 6 bench):
+/// called with (k, current x_k) after every denoising step, including the
+/// initial noise (k = K) and the final sample (k = 0).
+using SampleObserver =
+    std::function<void(std::int64_t k, const tensor::Tensor& x)>;
+
+/// Runs the reverse diffusion chain and returns binary samples [N,C,H,W].
+tensor::Tensor sample(unet::UNet& model, const BinarySchedule& schedule,
+                      std::int64_t batch, std::int64_t height,
+                      std::int64_t width, const SamplerConfig& config,
+                      common::Rng& rng,
+                      const SampleObserver& observer = nullptr);
+
+/// Strided (DDIM-style [12]) fast sampler: walks a subsequence of the K
+/// steps — K, K - stride, K - 2*stride, ..., 1 — using the generalized
+/// jump posterior q(x_{k_prev} | x_k, x0_tilde). stride == 1 reduces to the
+/// full ancestral sampler; larger strides trade sample quality for a
+/// proportional cut in network evaluations (see
+/// bench_ablation_stride).
+tensor::Tensor sample_strided(unet::UNet& model,
+                              const BinarySchedule& schedule,
+                              std::int64_t batch, std::int64_t height,
+                              std::int64_t width, std::int64_t stride,
+                              const SamplerConfig& config, common::Rng& rng,
+                              const SampleObserver& observer = nullptr);
+
+/// Exponential moving average of model parameters — the standard DDPM
+/// evaluation trick: train on the raw weights, sample with the smoothed
+/// copy. Usage:
+///   Ema ema(model.registry(), 0.999);
+///   loop { trainer.step(...); ema.update(); }
+///   ema.swap_in();   // Registry now holds EMA weights (sampling).
+///   ema.swap_out();  // Restore raw training weights.
+class Ema {
+ public:
+  Ema(nn::ParamRegistry& registry, double decay);
+
+  void update();
+  void swap_in();
+  void swap_out();
+  bool active() const { return active_; }
+  double decay() const { return decay_; }
+
+ private:
+  nn::ParamRegistry& registry_;
+  double decay_;
+  std::vector<tensor::Tensor> shadow_;
+  std::vector<tensor::Tensor> backup_;
+  bool active_ = false;
+};
+
+}  // namespace diffpattern::diffusion

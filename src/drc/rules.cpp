@@ -1,0 +1,26 @@
+#include "drc/rules.h"
+
+namespace diffpattern::drc {
+
+DesignRules standard_rules() {
+  DesignRules rules;
+  rules.space_min = 64;
+  rules.width_min = 64;
+  rules.area_min = 8192;
+  rules.area_max = 1048576;  // A quarter of the 2048x2048 nm tile.
+  return rules;
+}
+
+DesignRules larger_space_rules() {
+  DesignRules rules = standard_rules();
+  rules.space_min = 128;
+  return rules;
+}
+
+DesignRules smaller_area_rules() {
+  DesignRules rules = standard_rules();
+  rules.area_max = 262144;  // 1/16 of the tile.
+  return rules;
+}
+
+}  // namespace diffpattern::drc

@@ -1,0 +1,46 @@
+// Design rules (paper Fig. 3): Space, Width, and Area.
+//
+// * Width: every maximal run of shape cells, along both axes, must span at
+//   least width_min nm.
+// * Space: every maximal run of empty cells flanked by shapes on both sides
+//   (same row or column) must span at least space_min nm; shapes may never
+//   touch diagonally (zero-clearance corner contact).
+// * Area: every polygon's area must lie in [area_min, area_max].
+//
+// These are exactly the predicates the paper's legalization system (Eq. 14)
+// constrains, which is what makes the white-box legality guarantee checkable.
+// The optional euclidean_corner_space extension additionally applies the
+// space rule to diagonal corner-to-corner distances between distinct
+// polygons (closer to a production DRC deck); see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/types.h"
+
+namespace diffpattern::drc {
+
+struct DesignRules {
+  geometry::Coord space_min = 0;
+  geometry::Coord width_min = 0;
+  std::int64_t area_min = 0;
+  /// <= 0 means unbounded above.
+  std::int64_t area_max = 0;
+  /// Extension: also require sqrt(gap_x^2 + gap_y^2) >= space_min between
+  /// diagonally separated polygons.
+  bool euclidean_corner_space = false;
+
+  bool has_area_max() const { return area_max > 0; }
+};
+
+/// The rule set used throughout the benchmarks ("normal rules" of Fig. 8a),
+/// scaled to the synthetic 2048 nm tiles.
+DesignRules standard_rules();
+
+/// Fig. 8b: the same rules with a larger minimum spacing.
+DesignRules larger_space_rules();
+
+/// Fig. 8c: the same rules with a smaller maximum area.
+DesignRules smaller_area_rules();
+
+}  // namespace diffpattern::drc

@@ -1,0 +1,177 @@
+#include "geometry/components.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace diffpattern::geometry {
+
+ComponentAnalysis analyze_components(const BinaryGrid& grid) {
+  ComponentAnalysis out;
+  out.rows = grid.rows();
+  out.cols = grid.cols();
+  out.labels.assign(static_cast<std::size_t>(grid.cell_count()), -1);
+
+  std::vector<GridCell> frontier;
+  for (std::int64_t r = 0; r < grid.rows(); ++r) {
+    for (std::int64_t c = 0; c < grid.cols(); ++c) {
+      if (grid.get_unchecked(r, c) == 0 ||
+          out.labels[static_cast<std::size_t>(r * grid.cols() + c)] >= 0) {
+        continue;
+      }
+      const auto id = static_cast<std::int64_t>(out.components.size());
+      Component comp;
+      comp.id = id;
+      comp.min_row = comp.max_row = r;
+      comp.min_col = comp.max_col = c;
+      frontier.clear();
+      frontier.push_back({r, c});
+      out.labels[static_cast<std::size_t>(r * grid.cols() + c)] = id;
+      while (!frontier.empty()) {
+        const GridCell cell = frontier.back();
+        frontier.pop_back();
+        comp.cells.push_back(cell);
+        comp.min_row = std::min(comp.min_row, cell.row);
+        comp.max_row = std::max(comp.max_row, cell.row);
+        comp.min_col = std::min(comp.min_col, cell.col);
+        comp.max_col = std::max(comp.max_col, cell.col);
+        const GridCell neighbors[4] = {{cell.row - 1, cell.col},
+                                       {cell.row + 1, cell.col},
+                                       {cell.row, cell.col - 1},
+                                       {cell.row, cell.col + 1}};
+        for (const auto& n : neighbors) {
+          if (n.row < 0 || n.row >= grid.rows() || n.col < 0 ||
+              n.col >= grid.cols()) {
+            continue;
+          }
+          auto& label =
+              out.labels[static_cast<std::size_t>(n.row * grid.cols() + n.col)];
+          if (grid.get_unchecked(n.row, n.col) == 1 && label < 0) {
+            label = id;
+            frontier.push_back(n);
+          }
+        }
+      }
+      out.components.push_back(std::move(comp));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+enum class Heading : std::uint8_t { East, North, West, South };
+
+Heading turn_left(Heading h) {
+  switch (h) {
+    case Heading::East: return Heading::North;
+    case Heading::North: return Heading::West;
+    case Heading::West: return Heading::South;
+    case Heading::South: return Heading::East;
+  }
+  return Heading::East;
+}
+
+Heading turn_right(Heading h) {
+  switch (h) {
+    case Heading::East: return Heading::South;
+    case Heading::South: return Heading::West;
+    case Heading::West: return Heading::North;
+    case Heading::North: return Heading::East;
+  }
+  return Heading::East;
+}
+
+Point step(Point p, Heading h) {
+  switch (h) {
+    case Heading::East: return {p.x + 1, p.y};
+    case Heading::North: return {p.x, p.y + 1};
+    case Heading::West: return {p.x - 1, p.y};
+    case Heading::South: return {p.x, p.y - 1};
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<Point> trace_outer_boundary(const ComponentAnalysis& analysis,
+                                        std::int64_t component_id) {
+  DP_REQUIRE(component_id >= 0 &&
+                 component_id <
+                     static_cast<std::int64_t>(analysis.components.size()),
+             "trace_outer_boundary: bad component id");
+  const Component& comp =
+      analysis.components[static_cast<std::size_t>(component_id)];
+  DP_CHECK(!comp.cells.empty(), "trace_outer_boundary: empty component");
+
+  const auto inside = [&](std::int64_t row, std::int64_t col) {
+    if (row < 0 || row >= analysis.rows || col < 0 || col >= analysis.cols) {
+      return false;
+    }
+    return analysis.label_at(row, col) == component_id;
+  };
+
+  // Start at the bottom-left corner of the bottom-most, left-most cell,
+  // heading east: the interior is on the left (counter-clockwise loop).
+  GridCell start_cell = comp.cells.front();
+  for (const auto& cell : comp.cells) {
+    if (cell.row < start_cell.row ||
+        (cell.row == start_cell.row && cell.col < start_cell.col)) {
+      start_cell = cell;
+    }
+  }
+  const Point start{start_cell.col, start_cell.row};
+  Point pos = start;
+  Heading heading = Heading::East;
+
+  // Cells ahead-left / ahead-right of a corner for each heading.
+  const auto ahead_cells = [&](Point p, Heading h) {
+    struct Pair {
+      bool left;
+      bool right;
+    };
+    switch (h) {
+      case Heading::East:
+        return Pair{inside(p.y, p.x), inside(p.y - 1, p.x)};
+      case Heading::North:
+        return Pair{inside(p.y, p.x - 1), inside(p.y, p.x)};
+      case Heading::West:
+        return Pair{inside(p.y - 1, p.x - 1), inside(p.y, p.x - 1)};
+      case Heading::South:
+        return Pair{inside(p.y - 1, p.x), inside(p.y - 1, p.x - 1)};
+    }
+    return Pair{false, false};
+  };
+
+  std::vector<Point> loop;
+  const std::int64_t max_steps = 8 * (analysis.rows + 2) * (analysis.cols + 2);
+  std::int64_t steps = 0;
+  const Heading start_heading = heading;
+  do {
+    DP_CHECK(++steps < max_steps, "trace_outer_boundary: tracing diverged");
+    const auto ahead = ahead_cells(pos, heading);
+    Heading next = heading;
+    if (!ahead.left) {
+      next = turn_left(heading);
+    } else if (ahead.right) {
+      next = turn_right(heading);
+    }
+    if (next != heading) {
+      // Direction change: `pos` is a polygon vertex.
+      loop.push_back(pos);
+      heading = next;
+      continue;  // Re-evaluate with the new heading before stepping.
+    }
+    pos = step(pos, heading);
+  } while (!(pos == start && heading == start_heading));
+
+  DP_CHECK(loop.size() >= 4, "trace_outer_boundary: degenerate loop");
+  // Rotate so the loop starts at the start corner for deterministic output.
+  const auto it = std::find(loop.begin(), loop.end(), start);
+  if (it != loop.end()) {
+    std::rotate(loop.begin(), it, loop.end());
+  }
+  return loop;
+}
+
+}  // namespace diffpattern::geometry

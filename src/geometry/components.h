@@ -1,0 +1,56 @@
+// Connected-component analysis of binary grids.
+//
+// Components use 4-connectivity: diagonal contact is NOT a connection (two
+// diagonally touching cells are either a bow-tie defect of one polygon or a
+// zero-clearance violation between two — both are rejected downstream).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/grid.h"
+#include "geometry/types.h"
+
+namespace diffpattern::geometry {
+
+struct GridCell {
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+
+  friend bool operator==(const GridCell&, const GridCell&) = default;
+};
+
+struct Component {
+  std::int64_t id = 0;
+  std::vector<GridCell> cells;
+  // Grid-space bounding box (inclusive).
+  std::int64_t min_row = 0;
+  std::int64_t max_row = 0;
+  std::int64_t min_col = 0;
+  std::int64_t max_col = 0;
+};
+
+struct ComponentAnalysis {
+  std::vector<Component> components;
+  /// labels[row * cols + col] = component id, or -1 for 0-cells.
+  std::vector<std::int64_t> labels;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  std::int64_t label_at(std::int64_t row, std::int64_t col) const {
+    return labels[static_cast<std::size_t>(row * cols + col)];
+  }
+};
+
+/// Labels 4-connected components of 1-cells.
+ComponentAnalysis analyze_components(const BinaryGrid& grid);
+
+/// Traces the outer boundary of a component as a closed counter-clockwise
+/// rectilinear vertex loop in grid coordinates (vertices are grid corner
+/// points, so values range over [0, cols] x [0, rows]). Holes are ignored
+/// (layout polygons from squish grids that contain holes keep their outer
+/// ring only; area accounting uses cells, not rings).
+std::vector<Point> trace_outer_boundary(const ComponentAnalysis& analysis,
+                                        std::int64_t component_id);
+
+}  // namespace diffpattern::geometry

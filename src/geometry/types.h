@@ -1,0 +1,47 @@
+// Basic integer geometry in database units (nanometres).
+#pragma once
+
+#include <cstdint>
+
+namespace diffpattern::geometry {
+
+/// Database unit: 1 nm, stored as signed 64-bit.
+using Coord = std::int64_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Axis-aligned rectangle with exclusive upper bounds: [x0, x1) x [y0, y1).
+struct Rect {
+  Coord x0 = 0;
+  Coord y0 = 0;
+  Coord x1 = 0;
+  Coord y1 = 0;
+
+  Coord width() const { return x1 - x0; }
+  Coord height() const { return y1 - y0; }
+  std::int64_t area() const { return width() * height(); }
+  bool valid() const { return x1 > x0 && y1 > y0; }
+
+  bool overlaps(const Rect& other) const {
+    return x0 < other.x1 && other.x0 < x1 && y0 < other.y1 && other.y0 < y1;
+  }
+
+  /// True if the closed regions touch or overlap (shared edge counts).
+  bool touches_or_overlaps(const Rect& other) const {
+    return x0 <= other.x1 && other.x0 <= x1 && y0 <= other.y1 &&
+           other.y0 <= y1;
+  }
+
+  Rect inflated(Coord margin) const {
+    return Rect{x0 - margin, y0 - margin, x1 + margin, y1 + margin};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace diffpattern::geometry

@@ -1,0 +1,64 @@
+// Minimal GDSII stream-format writer/reader.
+//
+// Writes generated pattern libraries as standard GDSII so downstream tools
+// (KLayout, commercial DRC) can open them directly: one structure (cell) per
+// pattern, one BOUNDARY element per polygon, database unit 1 nm. The reader
+// supports the subset this writer emits (enough for lossless round-trip
+// verification); it is not a general-purpose GDS parser.
+//
+// Record framing: u16 big-endian length (header included), u8 record type,
+// u8 data type, payload. Reals use the GDSII excess-64 base-16 format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/types.h"
+#include "layout/squish.h"
+
+namespace diffpattern::io {
+
+struct GdsPolygon {
+  std::int16_t layer = 1;
+  std::int16_t datatype = 0;
+  /// Closed rectilinear ring in nm; first vertex NOT repeated (the writer
+  /// closes the loop on disk as GDSII requires).
+  std::vector<geometry::Point> ring;
+};
+
+struct GdsStructure {
+  std::string name;
+  std::vector<GdsPolygon> polygons;
+};
+
+struct GdsLibrary {
+  std::string name = "DIFFPATTERN";
+  std::vector<GdsStructure> structures;
+};
+
+/// Serializes the library with 1 nm database units.
+void write_gds(const std::string& path, const GdsLibrary& library);
+
+/// Parses a file written by write_gds (same record subset). Throws
+/// std::runtime_error on malformed input.
+GdsLibrary read_gds(const std::string& path);
+
+/// Converts a squish pattern into one GDS structure: polygons are the
+/// 4-connected components of the topology, traced to rectilinear rings and
+/// scaled by the geometric vectors.
+GdsStructure pattern_to_structure(const layout::SquishPattern& pattern,
+                                  const std::string& name,
+                                  std::int16_t layer = 1);
+
+/// Convenience: writes a whole pattern library ("PATTERN_0000", ...).
+void write_pattern_library_gds(const std::string& path,
+                               const std::vector<layout::SquishPattern>&
+                                   patterns,
+                               std::int16_t layer = 1);
+
+/// GDSII 8-byte real encoding (exposed for tests).
+std::uint64_t encode_gds_real(double value);
+double decode_gds_real(std::uint64_t bits);
+
+}  // namespace diffpattern::io

@@ -1,0 +1,39 @@
+// Output utilities: PGM image dumps (the repository's stand-in for the
+// paper's pattern figures), CSV writers, and a binary pattern-library
+// format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/grid.h"
+#include "layout/squish.h"
+
+namespace diffpattern::io {
+
+/// Writes a binary grid as an 8-bit PGM image; each cell becomes a
+/// `cell_px` x `cell_px` block (shape = dark, space = light). Row 0 of the
+/// grid is the bottom of the image.
+void write_grid_pgm(const std::string& path, const geometry::BinaryGrid& grid,
+                    std::int64_t cell_px = 8);
+
+/// Rasterizes a squish pattern at true nm proportions into an
+/// image_px x image_px PGM.
+void write_pattern_pgm(const std::string& path,
+                       const layout::SquishPattern& pattern,
+                       std::int64_t image_px = 256);
+
+/// Writes CSV content (caller formats rows; this handles I/O errors).
+void write_text_file(const std::string& path, const std::string& content);
+
+/// Binary pattern library: stores topology + deltas for each pattern.
+void save_pattern_library(const std::string& path,
+                          const std::vector<layout::SquishPattern>& patterns);
+std::vector<layout::SquishPattern> load_pattern_library(
+    const std::string& path);
+
+/// Creates the directory (and parents) if missing; returns the path.
+std::string ensure_directory(const std::string& path);
+
+}  // namespace diffpattern::io

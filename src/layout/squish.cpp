@@ -1,0 +1,297 @@
+#include "layout/squish.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.h"
+
+namespace diffpattern::layout {
+
+Coord SquishPattern::width() const {
+  return std::accumulate(dx.begin(), dx.end(), Coord{0});
+}
+
+Coord SquishPattern::height() const {
+  return std::accumulate(dy.begin(), dy.end(), Coord{0});
+}
+
+void SquishPattern::validate() const {
+  DP_REQUIRE(static_cast<std::int64_t>(dx.size()) == topology.cols(),
+             "SquishPattern: dx size must equal topology columns");
+  DP_REQUIRE(static_cast<std::int64_t>(dy.size()) == topology.rows(),
+             "SquishPattern: dy size must equal topology rows");
+  for (const auto d : dx) {
+    DP_REQUIRE(d > 0, "SquishPattern: dx entries must be positive");
+  }
+  for (const auto d : dy) {
+    DP_REQUIRE(d > 0, "SquishPattern: dy entries must be positive");
+  }
+}
+
+SquishPattern extract_squish(const Layout& layout) {
+  DP_REQUIRE(layout.width > 0 && layout.height > 0,
+             "extract_squish: empty tile");
+  std::vector<Coord> xs = {0, layout.width};
+  std::vector<Coord> ys = {0, layout.height};
+  for (const auto& r : layout.rects) {
+    DP_REQUIRE(r.valid(), "extract_squish: degenerate rectangle");
+    DP_REQUIRE(r.x0 >= 0 && r.y0 >= 0 && r.x1 <= layout.width &&
+                   r.y1 <= layout.height,
+               "extract_squish: rectangle outside tile");
+    xs.push_back(r.x0);
+    xs.push_back(r.x1);
+    ys.push_back(r.y0);
+    ys.push_back(r.y1);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  const auto cols = static_cast<std::int64_t>(xs.size()) - 1;
+  const auto rows = static_cast<std::int64_t>(ys.size()) - 1;
+  SquishPattern pattern;
+  pattern.topology = BinaryGrid(rows, cols);
+  pattern.dx.resize(static_cast<std::size_t>(cols));
+  pattern.dy.resize(static_cast<std::size_t>(rows));
+  for (std::int64_t c = 0; c < cols; ++c) {
+    pattern.dx[static_cast<std::size_t>(c)] =
+        xs[static_cast<std::size_t>(c + 1)] - xs[static_cast<std::size_t>(c)];
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    pattern.dy[static_cast<std::size_t>(r)] =
+        ys[static_cast<std::size_t>(r + 1)] - ys[static_cast<std::size_t>(r)];
+  }
+
+  // Scan-line grid edges align with every rectangle edge, so each cell is
+  // uniformly covered or empty; testing the cell's lower-left sample point
+  // against each rectangle suffices.
+  for (const auto& rect : layout.rects) {
+    const auto c0 = std::lower_bound(xs.begin(), xs.end(), rect.x0) -
+                    xs.begin();
+    const auto c1 = std::lower_bound(xs.begin(), xs.end(), rect.x1) -
+                    xs.begin();
+    const auto r0 = std::lower_bound(ys.begin(), ys.end(), rect.y0) -
+                    ys.begin();
+    const auto r1 = std::lower_bound(ys.begin(), ys.end(), rect.y1) -
+                    ys.begin();
+    for (auto r = r0; r < r1; ++r) {
+      for (auto c = c0; c < c1; ++c) {
+        pattern.topology.set(r, c, 1);
+      }
+    }
+  }
+  pattern.validate();
+  return pattern;
+}
+
+Layout restore_layout(const SquishPattern& pattern) {
+  pattern.validate();
+  Layout layout;
+  layout.width = pattern.width();
+  layout.height = pattern.height();
+
+  // Prefix sums of the deltas give cell borders in nm.
+  std::vector<Coord> xs(pattern.dx.size() + 1, 0);
+  for (std::size_t i = 0; i < pattern.dx.size(); ++i) {
+    xs[i + 1] = xs[i] + pattern.dx[i];
+  }
+  std::vector<Coord> ys(pattern.dy.size() + 1, 0);
+  for (std::size_t i = 0; i < pattern.dy.size(); ++i) {
+    ys[i + 1] = ys[i] + pattern.dy[i];
+  }
+
+  // Row strips of consecutive 1-cells, merged vertically when the spans of
+  // adjacent rows coincide.
+  struct Strip {
+    std::int64_t c0;
+    std::int64_t c1;  // exclusive
+    std::int64_t r0;
+    std::int64_t r1;  // exclusive
+  };
+  std::vector<Strip> open;
+  const auto rows = pattern.topology.rows();
+  const auto cols = pattern.topology.cols();
+  for (std::int64_t r = 0; r <= rows; ++r) {
+    std::vector<Strip> current;
+    if (r < rows) {
+      std::int64_t c = 0;
+      while (c < cols) {
+        if (pattern.topology.get_unchecked(r, c) == 0) {
+          ++c;
+          continue;
+        }
+        std::int64_t c0 = c;
+        while (c < cols && pattern.topology.get_unchecked(r, c) == 1) {
+          ++c;
+        }
+        current.push_back({c0, c, r, r + 1});
+      }
+    }
+    // Merge with open strips that have identical spans; flush the rest.
+    std::vector<Strip> next_open;
+    for (auto& strip : current) {
+      bool merged = false;
+      for (auto& prev : open) {
+        if (prev.c0 == strip.c0 && prev.c1 == strip.c1 && prev.r1 == r) {
+          strip.r0 = prev.r0;
+          prev.r1 = -1;  // Consumed.
+          merged = true;
+          break;
+        }
+      }
+      (void)merged;
+      next_open.push_back(strip);
+    }
+    for (const auto& prev : open) {
+      if (prev.r1 >= 0) {
+        layout.rects.push_back(Rect{xs[static_cast<std::size_t>(prev.c0)],
+                                    ys[static_cast<std::size_t>(prev.r0)],
+                                    xs[static_cast<std::size_t>(prev.c1)],
+                                    ys[static_cast<std::size_t>(prev.r1)]});
+      }
+    }
+    open = std::move(next_open);
+  }
+  return layout;
+}
+
+SquishPattern canonicalize(const SquishPattern& pattern) {
+  pattern.validate();
+  const auto rows = pattern.topology.rows();
+  const auto cols = pattern.topology.cols();
+
+  // Identify runs of identical columns, then rows.
+  std::vector<std::int64_t> col_rep;  // representative index per kept column
+  std::vector<Coord> new_dx;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    bool same_as_prev = !col_rep.empty();
+    if (same_as_prev) {
+      const auto prev = col_rep.back();
+      for (std::int64_t r = 0; r < rows; ++r) {
+        if (pattern.topology.get_unchecked(r, c) !=
+            pattern.topology.get_unchecked(r, prev)) {
+          same_as_prev = false;
+          break;
+        }
+      }
+    }
+    if (same_as_prev) {
+      new_dx.back() += pattern.dx[static_cast<std::size_t>(c)];
+    } else {
+      col_rep.push_back(c);
+      new_dx.push_back(pattern.dx[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  std::vector<std::int64_t> row_rep;
+  std::vector<Coord> new_dy;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    bool same_as_prev = !row_rep.empty();
+    if (same_as_prev) {
+      const auto prev = row_rep.back();
+      for (std::int64_t c = 0; c < cols; ++c) {
+        if (pattern.topology.get_unchecked(r, c) !=
+            pattern.topology.get_unchecked(prev, c)) {
+          same_as_prev = false;
+          break;
+        }
+      }
+    }
+    if (same_as_prev) {
+      new_dy.back() += pattern.dy[static_cast<std::size_t>(r)];
+    } else {
+      row_rep.push_back(r);
+      new_dy.push_back(pattern.dy[static_cast<std::size_t>(r)]);
+    }
+  }
+
+  SquishPattern out;
+  out.topology = BinaryGrid(static_cast<std::int64_t>(row_rep.size()),
+                            static_cast<std::int64_t>(col_rep.size()));
+  for (std::size_t r = 0; r < row_rep.size(); ++r) {
+    for (std::size_t c = 0; c < col_rep.size(); ++c) {
+      out.topology.set(static_cast<std::int64_t>(r),
+                       static_cast<std::int64_t>(c),
+                       pattern.topology.get_unchecked(row_rep[r], col_rep[c]));
+    }
+  }
+  out.dx = std::move(new_dx);
+  out.dy = std::move(new_dy);
+  return out;
+}
+
+namespace {
+
+/// Splits the largest delta in `deltas` in half (floor/ceil), duplicating
+/// the corresponding topology line via `duplicate(index)`.
+template <typename DuplicateFn>
+void split_largest(std::vector<Coord>& deltas, DuplicateFn duplicate) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < deltas.size(); ++i) {
+    if (deltas[i] > deltas[best]) {
+      best = i;
+    }
+  }
+  DP_REQUIRE(deltas[best] >= 2,
+             "pad_to: no delta wide enough to split (all at 1 nm)");
+  const Coord lo = deltas[best] / 2;
+  const Coord hi = deltas[best] - lo;
+  deltas[best] = lo;
+  deltas.insert(deltas.begin() + static_cast<std::ptrdiff_t>(best) + 1, hi);
+  duplicate(static_cast<std::int64_t>(best));
+}
+
+BinaryGrid duplicate_column(const BinaryGrid& grid, std::int64_t col) {
+  BinaryGrid out(grid.rows(), grid.cols() + 1);
+  for (std::int64_t r = 0; r < grid.rows(); ++r) {
+    for (std::int64_t c = 0; c < grid.cols(); ++c) {
+      out.set(r, c <= col ? c : c + 1, grid.get_unchecked(r, c));
+    }
+    out.set(r, col + 1, grid.get_unchecked(r, col));
+  }
+  return out;
+}
+
+BinaryGrid duplicate_row(const BinaryGrid& grid, std::int64_t row) {
+  BinaryGrid out(grid.rows() + 1, grid.cols());
+  for (std::int64_t r = 0; r < grid.rows(); ++r) {
+    for (std::int64_t c = 0; c < grid.cols(); ++c) {
+      out.set(r <= row ? r : r + 1, c, grid.get_unchecked(r, c));
+    }
+  }
+  for (std::int64_t c = 0; c < grid.cols(); ++c) {
+    out.set(row + 1, c, grid.get_unchecked(row, c));
+  }
+  return out;
+}
+
+}  // namespace
+
+SquishPattern pad_to(const SquishPattern& pattern, std::int64_t rows,
+                     std::int64_t cols) {
+  pattern.validate();
+  DP_REQUIRE(pattern.topology.rows() <= rows && pattern.topology.cols() <= cols,
+             "pad_to: pattern exceeds the target size");
+  SquishPattern out = pattern;
+  while (out.topology.cols() < cols) {
+    split_largest(out.dx, [&](std::int64_t c) {
+      out.topology = duplicate_column(out.topology, c);
+    });
+  }
+  while (out.topology.rows() < rows) {
+    split_largest(out.dy, [&](std::int64_t r) {
+      out.topology = duplicate_row(out.topology, r);
+    });
+  }
+  out.validate();
+  return out;
+}
+
+bool same_layout(const SquishPattern& a, const SquishPattern& b) {
+  const SquishPattern ca = canonicalize(a);
+  const SquishPattern cb = canonicalize(b);
+  return ca.topology == cb.topology && ca.dx == cb.dx && ca.dy == cb.dy;
+}
+
+}  // namespace diffpattern::layout

@@ -1,0 +1,67 @@
+// Squish pattern representation (paper Sec. II-B, Gennari & Lai [10]).
+//
+// A Layout (set of axis-aligned rectangles, union semantics) is losslessly
+// encoded as a binary topology matrix plus two geometric vectors delta_x,
+// delta_y: scan lines walk along every polygon edge, splitting the tile into
+// a non-uniform grid whose cells are uniformly shape or space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/grid.h"
+#include "geometry/types.h"
+
+namespace diffpattern::layout {
+
+using geometry::BinaryGrid;
+using geometry::Coord;
+using geometry::Rect;
+
+/// A layout tile: axis-aligned rectangles within [0,width) x [0,height).
+/// Overlapping/abutting rectangles merge into one polygon (union semantics).
+struct Layout {
+  Coord width = 0;
+  Coord height = 0;
+  std::vector<Rect> rects;
+};
+
+/// Lossless squish encoding of a layout tile.
+struct SquishPattern {
+  BinaryGrid topology;
+  std::vector<Coord> dx;  // Column widths (size == topology.cols()).
+  std::vector<Coord> dy;  // Row heights (size == topology.rows()).
+
+  Coord width() const;
+  Coord height() const;
+
+  /// Validates the representation invariants (positive deltas, matching
+  /// dimensions); throws on violation.
+  void validate() const;
+};
+
+/// Extracts the squish pattern of `layout` using scan lines at every
+/// rectangle edge (plus the tile borders).
+SquishPattern extract_squish(const Layout& layout);
+
+/// Restores a layout from a squish pattern. Each row of 1-runs becomes a
+/// rectangle; vertically abutting equal spans are merged.
+Layout restore_layout(const SquishPattern& pattern);
+
+/// Canonical (minimal) form: merges adjacent identical rows/columns, summing
+/// their deltas. Two squish patterns describe the same layout iff their
+/// canonical forms are equal.
+SquishPattern canonicalize(const SquishPattern& pattern);
+
+/// Pads a squish pattern to exactly `rows` x `cols` by repeatedly splitting
+/// the largest delta (duplicating the corresponding topology row/column).
+/// This is the fixed-side-length extension of [14]: the described layout is
+/// unchanged. Throws if the pattern is already larger than the target or if
+/// no delta is wide enough to split.
+SquishPattern pad_to(const SquishPattern& pattern, std::int64_t rows,
+                     std::int64_t cols);
+
+/// True iff the two patterns describe the same geometry.
+bool same_layout(const SquishPattern& a, const SquishPattern& b);
+
+}  // namespace diffpattern::layout

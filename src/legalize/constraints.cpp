@@ -1,0 +1,134 @@
+#include "legalize/constraints.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/contracts.h"
+
+namespace diffpattern::legalize {
+
+using geometry::BinaryGrid;
+
+namespace {
+
+/// Collects interval constraints from the runs of one line; appends to the
+/// (lo, hi) -> min_span map keeping the largest bound.
+template <typename CellFn>
+void collect_line_runs(CellFn cell, std::int64_t length, Coord width_min,
+                       Coord space_min,
+                       std::map<std::pair<std::int64_t, std::int64_t>, Coord>&
+                           intervals) {
+  std::int64_t i = 0;
+  bool seen_shape = false;
+  while (i < length) {
+    const std::uint8_t v = cell(i);
+    std::int64_t j = i;
+    while (j < length && cell(j) == v) {
+      ++j;
+    }
+    if (v == 1) {
+      auto& bound = intervals[{i, j - 1}];
+      bound = std::max(bound, width_min);
+      seen_shape = true;
+    } else if (seen_shape && j < length) {
+      // Interior 0-run flanked by shapes on both sides.
+      auto& bound = intervals[{i, j - 1}];
+      bound = std::max(bound, space_min);
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+bool ConstraintSystem::obviously_infeasible() const {
+  // Greedy disjoint-demand lower bound per axis: sweep intervals by right
+  // endpoint; demands of non-overlapping intervals add up.
+  const auto axis_lower_bound = [&](const std::vector<IntervalConstraint>& cs,
+                                    std::int64_t count) {
+    std::vector<IntervalConstraint> sorted = cs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const IntervalConstraint& a, const IntervalConstraint& b) {
+                return a.hi < b.hi;
+              });
+    Coord demand = 0;
+    std::int64_t covered_up_to = -1;  // Highest index already charged.
+    for (const auto& c : sorted) {
+      if (c.lo > covered_up_to) {
+        demand += std::max<Coord>(c.min_span,
+                                  (c.hi - c.lo + 1) * delta_min);
+        covered_up_to = c.hi;
+      }
+    }
+    // Uncovered positions still need delta_min each.
+    demand += std::max<std::int64_t>(0, count - (covered_up_to + 1)) *
+              delta_min;
+    return demand;
+  };
+  return axis_lower_bound(x_intervals, cols) > tile_width ||
+         axis_lower_bound(y_intervals, rows) > tile_height;
+}
+
+ConstraintSystem build_constraints(const BinaryGrid& topology,
+                                   const drc::DesignRules& rules,
+                                   Coord tile_width, Coord tile_height) {
+  DP_REQUIRE(topology.rows() >= 1 && topology.cols() >= 1,
+             "build_constraints: empty topology");
+  DP_REQUIRE(tile_width >= topology.cols() && tile_height >= topology.rows(),
+             "build_constraints: tile too small for the grid");
+  ConstraintSystem system;
+  system.cols = topology.cols();
+  system.rows = topology.rows();
+  system.tile_width = tile_width;
+  system.tile_height = tile_height;
+
+  std::map<std::pair<std::int64_t, std::int64_t>, Coord> x_map;
+  std::map<std::pair<std::int64_t, std::int64_t>, Coord> y_map;
+  for (std::int64_t r = 0; r < topology.rows(); ++r) {
+    collect_line_runs(
+        [&](std::int64_t c) { return topology.get_unchecked(r, c); },
+        topology.cols(), rules.width_min, rules.space_min, x_map);
+  }
+  for (std::int64_t c = 0; c < topology.cols(); ++c) {
+    collect_line_runs(
+        [&](std::int64_t r) { return topology.get_unchecked(r, c); },
+        topology.rows(), rules.width_min, rules.space_min, y_map);
+  }
+  for (const auto& [span, bound] : x_map) {
+    system.x_intervals.push_back({span.first, span.second, bound});
+  }
+  for (const auto& [span, bound] : y_map) {
+    system.y_intervals.push_back({span.first, span.second, bound});
+  }
+
+  const auto analysis = geometry::analyze_components(topology);
+  for (const auto& comp : analysis.components) {
+    PolygonConstraint pc;
+    pc.cells = comp.cells;
+    pc.area_min = rules.area_min;
+    pc.area_max = rules.has_area_max() ? rules.area_max : 0;
+    system.polygons.push_back(std::move(pc));
+  }
+  return system;
+}
+
+const char* to_string(PrefilterVerdict verdict) {
+  switch (verdict) {
+    case PrefilterVerdict::ok: return "ok";
+    case PrefilterVerdict::empty_topology: return "empty_topology";
+    case PrefilterVerdict::bowtie: return "bowtie";
+  }
+  return "unknown";
+}
+
+PrefilterVerdict prefilter_topology(const BinaryGrid& topology) {
+  if (topology.popcount() == 0) {
+    return PrefilterVerdict::empty_topology;
+  }
+  if (geometry::has_bowtie(topology)) {
+    return PrefilterVerdict::bowtie;
+  }
+  return PrefilterVerdict::ok;
+}
+
+}  // namespace diffpattern::legalize

@@ -1,0 +1,74 @@
+// Constraint extraction for the 2D legal pattern assessment (paper Eq. 14).
+//
+// Given a generated topology matrix and a design-rule set, the constraint
+// system over the geometric vectors delta_x, delta_y is:
+//   * delta_i >= delta_min (strict positivity, integer nm grid)
+//   * sum(delta_x) == tile width, sum(delta_y) == tile height
+//   * sum over every SetW interval >= Width_min   (maximal 1-runs)
+//   * sum over every SetS interval >= Space_min   (interior 0-runs)
+//   * every polygon's bilinear area in [Area_min, Area_max]
+// SetW and SetS are pattern-dependent; the bounds come from the rules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "drc/rules.h"
+#include "geometry/components.h"
+#include "geometry/grid.h"
+
+namespace diffpattern::legalize {
+
+using geometry::Coord;
+
+/// sum(delta[lo..hi]) >= min_span, indices inclusive.
+struct IntervalConstraint {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  Coord min_span = 0;
+
+  friend bool operator==(const IntervalConstraint&,
+                         const IntervalConstraint&) = default;
+};
+
+struct PolygonConstraint {
+  std::vector<geometry::GridCell> cells;
+  std::int64_t area_min = 0;
+  std::int64_t area_max = 0;  // <= 0: unbounded
+};
+
+struct ConstraintSystem {
+  std::int64_t cols = 0;
+  std::int64_t rows = 0;
+  Coord tile_width = 0;
+  Coord tile_height = 0;
+  Coord delta_min = 1;
+  std::vector<IntervalConstraint> x_intervals;  // Over delta_x indices.
+  std::vector<IntervalConstraint> y_intervals;  // Over delta_y indices.
+  std::vector<PolygonConstraint> polygons;
+
+  /// Quick necessary-feasibility screen: disjoint interval demands must fit
+  /// in the tile span on each axis. (Not sufficient — the solver reports
+  /// residual infeasibility.)
+  bool obviously_infeasible() const;
+};
+
+/// Builds the system for `topology` under `rules`. Duplicate intervals from
+/// different rows/columns are deduplicated, keeping the largest bound.
+ConstraintSystem build_constraints(const geometry::BinaryGrid& topology,
+                                   const drc::DesignRules& rules,
+                                   Coord tile_width, Coord tile_height);
+
+/// Topology pre-filter (paper Sec. III-C): rejects topologies no geometry
+/// assignment can legalize structurally.
+enum class PrefilterVerdict {
+  ok,
+  empty_topology,   // No shape cells at all.
+  bowtie,           // Point-touching polygons.
+};
+
+const char* to_string(PrefilterVerdict verdict);
+
+PrefilterVerdict prefilter_topology(const geometry::BinaryGrid& topology);
+
+}  // namespace diffpattern::legalize

@@ -1,0 +1,141 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/contracts.h"
+
+namespace diffpattern::metrics {
+
+Complexity pattern_complexity(const layout::SquishPattern& pattern) {
+  const auto canon = layout::canonicalize(pattern);
+  return Complexity{canon.topology.cols() - 1, canon.topology.rows() - 1};
+}
+
+Complexity topology_complexity(const geometry::BinaryGrid& topology) {
+  DP_REQUIRE(topology.rows() >= 1 && topology.cols() >= 1,
+             "topology_complexity: empty grid");
+  layout::SquishPattern synthetic;
+  synthetic.topology = topology;
+  synthetic.dx.assign(static_cast<std::size_t>(topology.cols()), 1);
+  synthetic.dy.assign(static_cast<std::size_t>(topology.rows()), 1);
+  return pattern_complexity(synthetic);
+}
+
+double diversity_entropy(const std::vector<Complexity>& complexities) {
+  if (complexities.empty()) {
+    return 0.0;
+  }
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> counts;
+  for (const auto& c : complexities) {
+    ++counts[{c.cx, c.cy}];
+  }
+  const double n = static_cast<double>(complexities.size());
+  double entropy = 0.0;
+  for (const auto& [key, count] : counts) {
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+ComplexityHistogram::ComplexityHistogram(std::int64_t max_cx,
+                                         std::int64_t max_cy)
+    : max_cx_(max_cx), max_cy_(max_cy),
+      counts_(static_cast<std::size_t>((max_cx + 1) * (max_cy + 1)), 0) {
+  DP_REQUIRE(max_cx >= 0 && max_cy >= 0, "ComplexityHistogram: bad bounds");
+}
+
+void ComplexityHistogram::add(const Complexity& c) {
+  const auto cx = std::clamp<std::int64_t>(c.cx, 0, max_cx_);
+  const auto cy = std::clamp<std::int64_t>(c.cy, 0, max_cy_);
+  ++counts_[static_cast<std::size_t>(cy * (max_cx_ + 1) + cx)];
+  ++total_;
+}
+
+void ComplexityHistogram::add_all(const std::vector<Complexity>& cs) {
+  for (const auto& c : cs) {
+    add(c);
+  }
+}
+
+std::int64_t ComplexityHistogram::count(std::int64_t cx,
+                                        std::int64_t cy) const {
+  DP_REQUIRE(cx >= 0 && cx <= max_cx_ && cy >= 0 && cy <= max_cy_,
+             "ComplexityHistogram::count: out of range");
+  return counts_[static_cast<std::size_t>(cy * (max_cx_ + 1) + cx)];
+}
+
+double ComplexityHistogram::probability(std::int64_t cx,
+                                        std::int64_t cy) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count(cx, cy)) / static_cast<double>(total_);
+}
+
+double ComplexityHistogram::intersection(
+    const ComplexityHistogram& other) const {
+  DP_REQUIRE(max_cx_ == other.max_cx_ && max_cy_ == other.max_cy_,
+             "ComplexityHistogram::intersection: bounds mismatch");
+  double overlap = 0.0;
+  for (std::int64_t cy = 0; cy <= max_cy_; ++cy) {
+    for (std::int64_t cx = 0; cx <= max_cx_; ++cx) {
+      overlap += std::min(probability(cx, cy), other.probability(cx, cy));
+    }
+  }
+  return overlap;
+}
+
+std::string ComplexityHistogram::to_csv() const {
+  std::ostringstream out;
+  out << "cy\\cx";
+  for (std::int64_t cx = 0; cx <= max_cx_; ++cx) {
+    out << ',' << cx;
+  }
+  out << '\n';
+  for (std::int64_t cy = 0; cy <= max_cy_; ++cy) {
+    out << cy;
+    for (std::int64_t cx = 0; cx <= max_cx_; ++cx) {
+      out << ',' << probability(cx, cy);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string ComplexityHistogram::to_ascii(std::int64_t display_bins) const {
+  DP_REQUIRE(display_bins >= 1, "to_ascii: display_bins must be >= 1");
+  const char shades[] = " .:-=+*#%@";
+  const std::int64_t n_shades = 9;
+  std::ostringstream out;
+  const auto bin_w = std::max<std::int64_t>(1, (max_cx_ + 1) / display_bins);
+  const auto bin_h = std::max<std::int64_t>(1, (max_cy_ + 1) / display_bins);
+  double peak = 0.0;
+  std::vector<double> bins(
+      static_cast<std::size_t>(display_bins * display_bins), 0.0);
+  for (std::int64_t cy = 0; cy <= max_cy_; ++cy) {
+    for (std::int64_t cx = 0; cx <= max_cx_; ++cx) {
+      const auto by = std::min(display_bins - 1, cy / bin_h);
+      const auto bx = std::min(display_bins - 1, cx / bin_w);
+      auto& bin = bins[static_cast<std::size_t>(by * display_bins + bx)];
+      bin += probability(cx, cy);
+      peak = std::max(peak, bin);
+    }
+  }
+  for (std::int64_t by = display_bins - 1; by >= 0; --by) {
+    for (std::int64_t bx = 0; bx < display_bins; ++bx) {
+      const double v =
+          peak > 0.0
+              ? bins[static_cast<std::size_t>(by * display_bins + bx)] / peak
+              : 0.0;
+      out << shades[static_cast<std::size_t>(std::llround(v * n_shades))];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace diffpattern::metrics

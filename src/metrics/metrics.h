@@ -1,0 +1,63 @@
+// Pattern complexity and library diversity (paper Sec. II-C, Eq. 4).
+//
+// Complexity of a pattern is (c_x, c_y) = scan-line counts minus one along
+// each axis, computed on the CANONICAL squish form (padding scan lines
+// inserted for the fixed model input size do not count). Diversity H of a
+// library is the Shannon entropy (log base 2) of the empirical joint
+// distribution of complexities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/squish.h"
+
+namespace diffpattern::metrics {
+
+struct Complexity {
+  std::int64_t cx = 0;
+  std::int64_t cy = 0;
+
+  friend bool operator==(const Complexity&, const Complexity&) = default;
+};
+
+/// Complexity of one pattern (canonicalized first).
+Complexity pattern_complexity(const layout::SquishPattern& pattern);
+
+/// Complexity of a bare topology grid (merges duplicate rows/columns, which
+/// is the canonical complexity of any geometry assigned to it).
+Complexity topology_complexity(const geometry::BinaryGrid& topology);
+
+/// Shannon entropy (bits) of the joint complexity distribution (Eq. 4).
+double diversity_entropy(const std::vector<Complexity>& complexities);
+
+/// 2-D histogram over (c_x, c_y) for Fig. 9.
+class ComplexityHistogram {
+ public:
+  ComplexityHistogram(std::int64_t max_cx, std::int64_t max_cy);
+
+  void add(const Complexity& c);
+  void add_all(const std::vector<Complexity>& cs);
+
+  std::int64_t total() const { return total_; }
+  std::int64_t count(std::int64_t cx, std::int64_t cy) const;
+  double probability(std::int64_t cx, std::int64_t cy) const;
+
+  /// Histogram intersection in [0, 1] (1 = identical distributions); the
+  /// quantitative summary of Fig. 9's visual comparison.
+  double intersection(const ComplexityHistogram& other) const;
+
+  /// CSV matrix (rows = cy, cols = cx) of probabilities.
+  std::string to_csv() const;
+  /// Coarse ASCII heatmap for terminal output.
+  std::string to_ascii(std::int64_t display_bins = 16) const;
+
+ private:
+  std::int64_t max_cx_;
+  std::int64_t max_cy_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace diffpattern::metrics

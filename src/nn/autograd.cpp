@@ -1,0 +1,150 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/contracts.h"
+
+namespace diffpattern::nn {
+
+namespace {
+thread_local bool g_no_grad_active = false;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : previous_(g_no_grad_active) {
+  g_no_grad_active = true;
+}
+
+NoGradGuard::~NoGradGuard() { g_no_grad_active = previous_; }
+
+bool NoGradGuard::active() { return g_no_grad_active; }
+
+namespace detail {
+
+void Node::ensure_grad() {
+  if (grad.numel() != value.numel()) {
+    grad = Tensor(value.shape(), 0.0F);
+  }
+}
+
+void accumulate_grad(Node& node, const Tensor& delta) {
+  DP_CHECK(delta.numel() == node.value.numel(),
+           "accumulate_grad: gradient shape mismatch");
+  node.ensure_grad();
+  float* g = node.grad.data();
+  const float* d = delta.data();
+  const auto n = delta.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    g[i] += d[i];
+  }
+}
+
+Var make_op_node(Tensor value, std::vector<Var> parents,
+                 std::function<void(const Tensor&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  bool needs_grad = false;
+  node->parents.reserve(parents.size());
+  for (const auto& p : parents) {
+    DP_REQUIRE(p.defined(), "op: undefined Var operand");
+    node->parents.push_back(p.node());
+    needs_grad = needs_grad || p.node()->requires_grad;
+  }
+  if (NoGradGuard::active()) {
+    needs_grad = false;
+  }
+  node->requires_grad = needs_grad;
+  if (needs_grad) {
+    node->backward = std::move(backward);
+  } else {
+    node->parents.clear();  // Value-only node; no graph retained.
+  }
+  return Var::from_node(std::move(node));
+}
+
+}  // namespace detail
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<detail::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Var Var::from_node(std::shared_ptr<detail::Node> node) {
+  Var v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+const Tensor& Var::value() const {
+  DP_REQUIRE(defined(), "Var::value: empty Var");
+  return node_->value;
+}
+
+Tensor& Var::mutable_value() {
+  DP_REQUIRE(defined(), "Var::mutable_value: empty Var");
+  return node_->value;
+}
+
+const Tensor& Var::grad() const {
+  DP_REQUIRE(defined(), "Var::grad: empty Var");
+  DP_REQUIRE(node_->grad.numel() == node_->value.numel(),
+             "Var::grad: gradient not populated (run backward first)");
+  return node_->grad;
+}
+
+bool Var::requires_grad() const {
+  DP_REQUIRE(defined(), "Var::requires_grad: empty Var");
+  return node_->requires_grad;
+}
+
+void Var::zero_grad() {
+  DP_REQUIRE(defined(), "Var::zero_grad: empty Var");
+  node_->ensure_grad();
+  node_->grad.fill(0.0F);
+}
+
+void Var::backward() const {
+  DP_REQUIRE(defined(), "Var::backward: empty Var");
+  DP_REQUIRE(numel() == 1, "Var::backward: loss must be scalar, got shape " +
+                               value().shape_string());
+  DP_REQUIRE(node_->requires_grad,
+             "Var::backward: node does not require gradients");
+
+  // Iterative post-order DFS to get a topological order of the subgraph.
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  struct Frame {
+    detail::Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      detail::Node* parent = frame.node->parents[frame.next_parent].get();
+      ++frame.next_parent;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed and propagate in reverse topological order.
+  node_->ensure_grad();
+  node_->grad.fill(1.0F);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node* node = *it;
+    if (node->backward) {
+      node->ensure_grad();
+      node->backward(node->grad);
+    }
+  }
+}
+
+}  // namespace diffpattern::nn

@@ -1,0 +1,105 @@
+// Reverse-mode automatic differentiation over tensor::Tensor.
+//
+// A Var is a shared handle to a graph node holding a value, an optional
+// gradient, and a backward closure that scatters the node's gradient into
+// its parents. Graphs are built implicitly by the ops in ops.h and torn down
+// when the last Var handle goes out of scope; there is no global tape.
+//
+// Usage:
+//   Var loss = ...;        // built from ops over parameters
+//   loss.backward();       // populates .grad() on every reachable parameter
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diffpattern::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+class Var;
+
+namespace detail {
+
+struct Node {
+  Tensor value;
+  Tensor grad;              // Allocated lazily; same shape as value.
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Receives the gradient w.r.t. this node's value and accumulates into the
+  // parents' grads. Empty for leaves and for nodes on no-grad paths.
+  std::function<void(const Tensor& self_grad)> backward;
+
+  void ensure_grad();
+};
+
+}  // namespace detail
+
+/// RAII scope that disables graph construction (inference mode). Ops run
+/// value-only while a guard is alive, so sampling loops neither allocate
+/// backward closures nor retain intermediate tensors.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  static bool active();
+
+ private:
+  bool previous_;
+};
+
+class Var {
+ public:
+  /// Default-constructed Var is empty (no node); most APIs reject it.
+  Var() = default;
+
+  /// Wraps a value. `requires_grad` marks a trainable leaf.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  const Tensor& grad() const;
+  bool requires_grad() const;
+
+  const Shape& shape() const { return value().shape(); }
+  std::int64_t dim(std::int64_t axis) const { return value().dim(axis); }
+  std::int64_t numel() const { return value().numel(); }
+
+  /// Runs reverse-mode differentiation from this (scalar) node. Gradients
+  /// accumulate into every reachable node with requires_grad.
+  void backward() const;
+
+  /// Clears the gradient buffer of this node (used on parameters between
+  /// optimizer steps).
+  void zero_grad();
+
+  /// Internal: used by ops to assemble graphs.
+  static Var from_node(std::shared_ptr<detail::Node> node);
+  const std::shared_ptr<detail::Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+namespace detail {
+
+/// Helper for op implementations: creates a result node wired to `parents`
+/// with the given backward closure, propagating requires_grad. If no parent
+/// requires gradients the closure is dropped (value-only node).
+Var make_op_node(Tensor value, std::vector<Var> parents,
+                 std::function<void(const Tensor&)> backward);
+
+/// Accumulates `delta` into the node's grad buffer (allocating if needed).
+void accumulate_grad(Node& node, const Tensor& delta);
+
+}  // namespace detail
+
+}  // namespace diffpattern::nn

@@ -1,0 +1,24 @@
+// Binary checkpoint format for ParamRegistry contents.
+//
+// Layout: magic "DPCKPT01", u64 param count, then per parameter:
+//   u64 name length, name bytes, u64 rank, u64 dims..., f32 data...
+// Loading requires exact name/shape agreement with the registry, so a
+// checkpoint can only be restored into the architecture that produced it.
+#pragma once
+
+#include <string>
+
+#include "nn/modules.h"
+
+namespace diffpattern::nn {
+
+void save_checkpoint(const ParamRegistry& registry, const std::string& path);
+
+/// Loads parameter values in place. Throws std::runtime_error on I/O or
+/// format problems, std::invalid_argument on name/shape mismatch.
+void load_checkpoint(ParamRegistry& registry, const std::string& path);
+
+/// True if `path` exists and starts with the checkpoint magic.
+bool is_checkpoint_file(const std::string& path);
+
+}  // namespace diffpattern::nn

@@ -1,0 +1,93 @@
+// Differentiable operations over Var.
+//
+// Every function builds a graph node whose backward closure scatters
+// gradients into its operands. Operands named `const Tensor&` are treated as
+// constants (no gradient flows into them); this is how the diffusion loss
+// mixes fixed transition-matrix coefficients with network outputs.
+//
+// All ops are verified against central-difference numerical gradients in
+// tests/test_nn_gradcheck.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/autograd.h"
+
+namespace diffpattern::nn {
+
+// ---- arithmetic ----------------------------------------------------------
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+Var mul(const Var& a, const Var& b);
+Var neg(const Var& a);
+Var scale(const Var& a, float s);
+Var add_scalar(const Var& a, float s);
+/// Element-wise product with a constant tensor (no grad into `c`).
+Var mul_const(const Var& a, const Tensor& c);
+/// Element-wise sum with a constant tensor (no grad into `c`).
+Var add_const(const Var& a, const Tensor& c);
+
+// ---- activations ---------------------------------------------------------
+Var relu(const Var& a);
+Var sigmoid(const Var& a);
+Var silu(const Var& a);
+Var gelu(const Var& a);
+Var tanh_act(const Var& a);
+/// Numerically stable softplus: log(1 + exp(x)).
+Var softplus(const Var& a);
+/// log(max(x, eps)); gradient is zero where the clamp is active.
+Var log_clamped(const Var& a, float eps = 1e-12F);
+
+// ---- shape ---------------------------------------------------------------
+Var reshape(const Var& a, Shape shape);
+/// General axis permutation (transpose); `dims` is a permutation of axes.
+Var permute(const Var& a, std::vector<std::int64_t> dims);
+/// x[N,C,H,W] -> x[N,count,H,W] taking channels [c0, c0+count).
+Var slice_channels(const Var& x, std::int64_t c0, std::int64_t count);
+/// Concatenation along the channel axis of two [N,C,H,W] tensors.
+Var concat_channels(const Var& a, const Var& b);
+/// x[N,C,H,W] + bias[N,C] broadcast over the spatial axes (time-embedding
+/// injection in residual blocks).
+Var add_spatial_broadcast(const Var& x, const Var& bias_nc);
+/// Stops gradient flow: returns a leaf holding a copy of the value.
+Var detach(const Var& a);
+
+// ---- linear algebra ------------------------------------------------------
+Var matmul(const Var& a, const Var& b);
+/// Batched matmul: [B,M,K] x [B,K,N] -> [B,M,N].
+Var bmm(const Var& a, const Var& b);
+/// y = x * w^T + b with x:[N,Fin], w:[Fout,Fin], b:[Fout].
+Var linear(const Var& x, const Var& w, const Var& b);
+/// 2-D convolution, x:[N,C,H,W], w:[O,C,kh,kw], b:[O].
+Var conv2d(const Var& x, const Var& w, const Var& b, std::int64_t stride,
+           std::int64_t padding);
+
+// ---- normalization -------------------------------------------------------
+/// GroupNorm over [N,C,H,W] with per-channel affine (gamma, beta of [C]).
+Var group_norm(const Var& x, const Var& gamma, const Var& beta,
+               std::int64_t groups, float eps = 1e-5F);
+/// LayerNorm over the last axis with affine parameters of that axis length.
+Var layer_norm(const Var& x, const Var& gamma, const Var& beta,
+               float eps = 1e-5F);
+
+// ---- softmax / reductions ------------------------------------------------
+/// Softmax over the last axis (any rank >= 1).
+Var softmax_last(const Var& a);
+Var sum_all(const Var& a);
+Var mean_all(const Var& a);
+
+// ---- resize --------------------------------------------------------------
+/// Nearest-neighbour 2x upsampling of [N,C,H,W].
+Var upsample_nearest2(const Var& x);
+/// 2x2 average pooling (H and W must be even).
+Var avg_pool2(const Var& x);
+
+// ---- regularization / lookup ---------------------------------------------
+/// Inverted dropout; identity when !training or p == 0.
+Var dropout(const Var& x, float p, bool training, common::Rng& rng);
+/// Row gather: table:[V,D], ids of length T -> [T,D].
+Var embedding_lookup(const Var& table, const std::vector<std::int64_t>& ids);
+
+}  // namespace diffpattern::nn

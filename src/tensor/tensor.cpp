@@ -1,0 +1,117 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/contracts.h"
+
+namespace diffpattern::tensor {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const auto d : shape) {
+    DP_REQUIRE(d >= 0, "shape_numel: negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) {
+      out << ", ";
+    }
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+
+Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
+  DP_REQUIRE(shape_numel(shape) == static_cast<std::int64_t>(data.size()),
+             "from_data: shape " + shape_to_string(shape) +
+                 " does not match data size " + std::to_string(data.size()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+Tensor Tensor::scalar(float value) {
+  return from_data({1}, {value});
+}
+
+std::int64_t Tensor::dim(std::int64_t axis) const {
+  if (axis < 0) {
+    axis += rank();
+  }
+  DP_REQUIRE(axis >= 0 && axis < rank(), "dim: axis out of range");
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t Tensor::flat_index(
+    std::initializer_list<std::int64_t> index) const {
+  DP_REQUIRE(static_cast<std::int64_t>(index.size()) == rank(),
+             "at: index rank mismatch for shape " + shape_string());
+  std::int64_t flat = 0;
+  std::size_t axis = 0;
+  for (const auto i : index) {
+    const auto d = shape_[axis];
+    DP_REQUIRE(i >= 0 && i < d, "at: index out of bounds on axis " +
+                                    std::to_string(axis));
+    flat = flat * d + i;
+    ++axis;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> index) {
+  return data_[static_cast<std::size_t>(flat_index(index))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> index) const {
+  return data_[static_cast<std::size_t>(flat_index(index))];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  std::int64_t known = 1;
+  std::int64_t infer_axis = -1;
+  for (std::size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      DP_REQUIRE(infer_axis == -1, "reshaped: more than one inferred axis");
+      infer_axis = static_cast<std::int64_t>(i);
+    } else {
+      DP_REQUIRE(new_shape[i] >= 0, "reshaped: negative dimension");
+      known *= new_shape[i];
+    }
+  }
+  if (infer_axis >= 0) {
+    DP_REQUIRE(known > 0 && numel() % known == 0,
+               "reshaped: cannot infer axis for shape " +
+                   shape_to_string(new_shape));
+    new_shape[static_cast<std::size_t>(infer_axis)] = numel() / known;
+  }
+  DP_REQUIRE(shape_numel(new_shape) == numel(),
+             "reshaped: element count mismatch " + shape_string() + " -> " +
+                 shape_to_string(new_shape));
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string Tensor::shape_string() const {
+  return shape_to_string(shape_);
+}
+
+}  // namespace diffpattern::tensor

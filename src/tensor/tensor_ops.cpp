@@ -1,0 +1,255 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace diffpattern::tensor {
+
+namespace {
+
+void require_matrix(const Tensor& t, const char* name) {
+  DP_REQUIRE(t.rank() == 2, std::string(name) + ": expected rank-2 tensor, got " +
+                                t.shape_string());
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul(a)");
+  require_matrix(b, "matmul(b)");
+  const auto m = a.dim(0);
+  const auto k = a.dim(1);
+  DP_REQUIRE(b.dim(0) == k, "matmul: inner dimension mismatch " +
+                                a.shape_string() + " x " + b.shape_string());
+  const auto n = b.dim(1);
+  Tensor out({m, n}, 0.0F);
+  matmul_accumulate(a, b, out);
+  return out;
+}
+
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  const auto m = a.dim(0);
+  const auto k = a.dim(1);
+  const auto n = b.dim(1);
+  DP_REQUIRE(out.dim(0) == m && out.dim(1) == n,
+             "matmul_accumulate: bad output shape");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0F) {
+        continue;
+      }
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul_transpose_a(a)");
+  require_matrix(b, "matmul_transpose_a(b)");
+  const auto m = a.dim(0);
+  const auto k = a.dim(1);
+  DP_REQUIRE(b.dim(0) == m, "matmul_transpose_a: row mismatch");
+  const auto n = b.dim(1);
+  Tensor out({k, n}, 0.0F);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0F) {
+        continue;
+      }
+      float* crow = pc + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul_transpose_b(a)");
+  require_matrix(b, "matmul_transpose_b(b)");
+  const auto m = a.dim(0);
+  const auto n = a.dim(1);
+  DP_REQUIRE(b.dim(1) == n, "matmul_transpose_b: column mismatch");
+  const auto k = b.dim(0);
+  Tensor out({m, k}, 0.0F);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * n;
+    float* crow = pc + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* brow = pb + kk * n;
+      float acc = 0.0F;
+      for (std::int64_t j = 0; j < n; ++j) {
+        acc += arow[j] * brow[j];
+      }
+      crow[kk] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor im2col(const Tensor& image, const Conv2dGeometry& geom) {
+  DP_REQUIRE(image.rank() == 3, "im2col: expected [C,H,W]");
+  DP_REQUIRE(image.dim(0) == geom.in_channels && image.dim(1) == geom.in_h &&
+                 image.dim(2) == geom.in_w,
+             "im2col: geometry mismatch with image " + image.shape_string());
+  const auto oh = geom.out_h();
+  const auto ow = geom.out_w();
+  DP_REQUIRE(oh > 0 && ow > 0, "im2col: empty output window");
+  Tensor cols({geom.patch_size(), oh * ow}, 0.0F);
+  const float* src = image.data();
+  float* dst = cols.data();
+  const auto n_out = oh * ow;
+  for (std::int64_t c = 0; c < geom.in_channels; ++c) {
+    for (std::int64_t ky = 0; ky < geom.kernel_h; ++ky) {
+      for (std::int64_t kx = 0; kx < geom.kernel_w; ++kx) {
+        const auto row =
+            (c * geom.kernel_h + ky) * geom.kernel_w + kx;
+        float* drow = dst + row * n_out;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const auto iy = oy * geom.stride - geom.padding + ky;
+          if (iy < 0 || iy >= geom.in_h) {
+            continue;  // Row stays zero (padding).
+          }
+          const float* srow = src + (c * geom.in_h + iy) * geom.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const auto ix = ox * geom.stride - geom.padding + kx;
+            if (ix < 0 || ix >= geom.in_w) {
+              continue;
+            }
+            drow[oy * ow + ox] = srow[ix];
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& columns, const Conv2dGeometry& geom) {
+  DP_REQUIRE(columns.rank() == 2, "col2im: expected rank-2 columns");
+  const auto oh = geom.out_h();
+  const auto ow = geom.out_w();
+  DP_REQUIRE(columns.dim(0) == geom.patch_size() &&
+                 columns.dim(1) == oh * ow,
+             "col2im: column shape mismatch");
+  Tensor image({geom.in_channels, geom.in_h, geom.in_w}, 0.0F);
+  const float* src = columns.data();
+  float* dst = image.data();
+  const auto n_out = oh * ow;
+  for (std::int64_t c = 0; c < geom.in_channels; ++c) {
+    for (std::int64_t ky = 0; ky < geom.kernel_h; ++ky) {
+      for (std::int64_t kx = 0; kx < geom.kernel_w; ++kx) {
+        const auto row =
+            (c * geom.kernel_h + ky) * geom.kernel_w + kx;
+        const float* srow = src + row * n_out;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const auto iy = oy * geom.stride - geom.padding + ky;
+          if (iy < 0 || iy >= geom.in_h) {
+            continue;
+          }
+          float* drow = dst + (c * geom.in_h + iy) * geom.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const auto ix = ox * geom.stride - geom.padding + kx;
+            if (ix < 0 || ix >= geom.in_w) {
+              continue;
+            }
+            drow[ix] += srow[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+double sum(const Tensor& t) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    acc += t[i];
+  }
+  return acc;
+}
+
+float max_value(const Tensor& t) {
+  DP_REQUIRE(!t.empty(), "max_value: empty tensor");
+  float m = t[0];
+  for (std::int64_t i = 1; i < t.numel(); ++i) {
+    m = std::max(m, t[i]);
+  }
+  return m;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  DP_REQUIRE(a.same_shape(b), "add: shape mismatch " + a.shape_string() +
+                                  " vs " + b.shape_string());
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] += b[i];
+  }
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  DP_REQUIRE(a.same_shape(b), "mul: shape mismatch " + a.shape_string() +
+                                  " vs " + b.shape_string());
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] *= b[i];
+  }
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] *= s;
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  require_matrix(logits, "softmax_rows");
+  const auto rows = logits.dim(0);
+  const auto cols = logits.dim(1);
+  Tensor out = logits;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    float* row = out.data() + i * cols;
+    float m = row[0];
+    for (std::int64_t j = 1; j < cols; ++j) {
+      m = std::max(m, row[j]);
+    }
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - m);
+      denom += row[j];
+    }
+    const auto inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < cols; ++j) {
+      row[j] *= inv;
+    }
+  }
+  return out;
+}
+
+}  // namespace diffpattern::tensor

@@ -1,0 +1,71 @@
+// Raw numeric kernels over Tensor: GEMM, im2col/col2im, reductions.
+//
+// These are the non-differentiable building blocks; gradient bookkeeping is
+// layered on top in src/nn. All kernels are single-threaded and written for
+// clarity first, with the GEMM loop order (i, k, j) chosen so the inner loop
+// streams contiguously.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace diffpattern::tensor {
+
+/// C[M,N] = A[M,K] * B[K,N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C[M,N] += A[M,K] * B[K,N] accumulated into `out` (shapes must match).
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// C[K,N] = A[M,K]^T * B[M,N].
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b);
+
+/// C[M,K] = A[M,N] * B[K,N]^T.
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b);
+
+struct Conv2dGeometry {
+  std::int64_t in_channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+
+  std::int64_t out_h() const {
+    return (in_h + 2 * padding - kernel_h) / stride + 1;
+  }
+  std::int64_t out_w() const {
+    return (in_w + 2 * padding - kernel_w) / stride + 1;
+  }
+  std::int64_t patch_size() const { return in_channels * kernel_h * kernel_w; }
+};
+
+/// Unrolls one image [C,H,W] into columns [C*kh*kw, OH*OW]. Out-of-bounds
+/// (padding) positions contribute zeros.
+Tensor im2col(const Tensor& image, const Conv2dGeometry& geom);
+
+/// Adjoint of im2col: folds columns [C*kh*kw, OH*OW] back into an image
+/// [C,H,W], accumulating overlapping contributions.
+Tensor col2im(const Tensor& columns, const Conv2dGeometry& geom);
+
+/// Sum of all elements.
+double sum(const Tensor& t);
+
+/// Maximum element (requires non-empty tensor).
+float max_value(const Tensor& t);
+
+/// out[i] = a[i] + b[i] (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// out[i] = a[i] * b[i] (shapes must match).
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// out[i] = a[i] * s.
+Tensor scale(const Tensor& a, float s);
+
+/// Numerically stable row-wise softmax over the last axis of a 2-D tensor.
+Tensor softmax_rows(const Tensor& logits);
+
+}  // namespace diffpattern::tensor

@@ -1,0 +1,179 @@
+// Integration tests for the full DiffPattern pipeline at miniature scale:
+// dataset -> train -> sample -> pre-filter -> legalize -> evaluate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "drc/checker.h"
+
+namespace dcore = diffpattern::core;
+namespace dd = diffpattern::drc;
+namespace dc = diffpattern::common;
+
+namespace {
+
+dcore::PipelineConfig mini_config() {
+  dcore::PipelineConfig cfg;
+  cfg.dataset_tiles = 16;
+  cfg.grid_side = 16;
+  cfg.channels = 4;
+  cfg.schedule.steps = 8;
+  cfg.model_channels = 8;
+  cfg.channel_mult = {1, 2};
+  cfg.num_res_blocks = 1;
+  cfg.attention_levels = {};
+  cfg.dropout = 0.0F;
+  cfg.train_iterations = 10;
+  cfg.batch_size = 4;
+  cfg.seed = 5;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(PipelineConfig, FoldedSideDerivation) {
+  auto cfg = mini_config();
+  EXPECT_EQ(cfg.folded_side(), 8);  // 16 / sqrt(4)
+  cfg.grid_side = 15;
+  EXPECT_THROW(cfg.folded_side(), std::invalid_argument);
+}
+
+TEST(PipelineConfig, PaperConfigMatchesSectionIVA) {
+  const auto paper = dcore::PipelineConfig::paper();
+  EXPECT_EQ(paper.grid_side, 128);
+  EXPECT_EQ(paper.channels, 16);
+  EXPECT_EQ(paper.folded_side(), 32);
+  EXPECT_EQ(paper.schedule.steps, 1000);
+  EXPECT_EQ(paper.model_channels, 128);
+  EXPECT_EQ(paper.train_iterations, 500000);
+  EXPECT_EQ(paper.batch_size, 128);
+  EXPECT_FLOAT_EQ(paper.adam.learning_rate, 2e-4F);
+  EXPECT_FLOAT_EQ(paper.loss.lambda, 0.001F);
+}
+
+TEST(Pipeline, DatasetIsBuiltOnceAndCached) {
+  dcore::Pipeline pipeline(mini_config());
+  const auto& a = pipeline.dataset();
+  const auto& b = pipeline.dataset();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.patterns.size(), 16U);
+}
+
+TEST(Pipeline, TrainRunsAndReportsProgress) {
+  dcore::Pipeline pipeline(mini_config());
+  std::int64_t calls = 0;
+  double last_loss = 0.0;
+  pipeline.train([&](std::int64_t, const diffpattern::diffusion::LossBreakdown&
+                                      loss) {
+    ++calls;
+    last_loss = loss.total;
+    EXPECT_TRUE(std::isfinite(loss.total));
+  });
+  EXPECT_EQ(calls, 10);
+  EXPECT_GT(last_loss, 0.0);
+}
+
+TEST(Pipeline, SampledTopologiesHaveDatasetShape) {
+  dcore::Pipeline pipeline(mini_config());
+  pipeline.train();
+  const auto topologies = pipeline.sample_topologies(3);
+  ASSERT_EQ(topologies.size(), 3U);
+  for (const auto& t : topologies) {
+    EXPECT_EQ(t.rows(), 16);
+    EXPECT_EQ(t.cols(), 16);
+  }
+}
+
+TEST(Pipeline, GenerateProducesOnlyDrcCleanPatterns) {
+  // The legality guarantee of Table I: every emitted pattern is DRC-clean,
+  // regardless of model quality (here: barely trained).
+  auto cfg = mini_config();
+  dcore::Pipeline pipeline(cfg);
+  pipeline.train();
+  const auto report = pipeline.generate(6);
+  EXPECT_EQ(report.topologies_requested, 6);
+  EXPECT_EQ(report.prefilter_rejected + report.solver_rejected +
+                static_cast<std::int64_t>(report.patterns.size()),
+            6);
+  for (const auto& p : report.patterns) {
+    EXPECT_TRUE(dd::check_pattern(p, cfg.datagen.rules).clean());
+    EXPECT_EQ(p.width(), cfg.datagen.tile);
+  }
+  EXPECT_GE(report.solving_seconds, 0.0);
+}
+
+TEST(Pipeline, EvaluateCountsLegalityAndDiversity) {
+  auto cfg = mini_config();
+  dcore::Pipeline pipeline(cfg);
+  const auto& data = pipeline.dataset();
+  const auto eval =
+      dcore::evaluate_patterns(data.patterns, cfg.datagen.rules);
+  EXPECT_EQ(eval.total_patterns, 16);
+  EXPECT_EQ(eval.legal_patterns, 16);  // Dataset is DRC-clean by contract.
+  EXPECT_NEAR(eval.legality_ratio(), 1.0, 1e-12);
+  EXPECT_GT(eval.diversity, 0.5);
+  EXPECT_NEAR(eval.diversity, eval.legal_diversity, 1e-12);
+}
+
+TEST(Pipeline, AssignLibraryDeltasPreservesTileSpan) {
+  auto cfg = mini_config();
+  dcore::Pipeline pipeline(cfg);
+  const auto& data = pipeline.dataset();
+  dc::Rng rng(3);
+  const auto pattern = dcore::assign_library_deltas(
+      data.patterns.front().topology, data.library, cfg.datagen.tile,
+      cfg.datagen.tile, rng);
+  EXPECT_EQ(pattern.width(), cfg.datagen.tile);
+  EXPECT_EQ(pattern.height(), cfg.datagen.tile);
+}
+
+TEST(Pipeline, ModelCheckpointRoundTrip) {
+  const std::string path = "/tmp/dp_pipeline_ckpt.bin";
+  auto cfg = mini_config();
+  dcore::Pipeline a(cfg);
+  a.train();
+  a.save_model(path);
+  dcore::Pipeline b(cfg);
+  b.load_model(path);
+  // Same weights -> same samples for the same internal seeds.
+  const auto pa = a.model().registry().params();
+  const auto pb = b.model().registry().params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i].numel(); ++j) {
+      ASSERT_FLOAT_EQ(pa[i].value()[j], pb[i].value()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pipeline, LegalizeExternalTopologies) {
+  auto cfg = mini_config();
+  dcore::Pipeline pipeline(cfg);
+  const auto& data = pipeline.dataset();
+  // Feed dataset topologies through the assessment: all should pass the
+  // pre-filter and nearly all should legalize.
+  std::vector<diffpattern::geometry::BinaryGrid> topologies(
+      data.patterns.size() > 4 ? 4 : data.patterns.size());
+  for (std::size_t i = 0; i < topologies.size(); ++i) {
+    topologies[i] = data.patterns[i].topology;
+  }
+  const auto report = pipeline.legalize_topologies(topologies);
+  EXPECT_EQ(report.prefilter_rejected, 0);
+  EXPECT_GE(static_cast<std::int64_t>(report.patterns.size()), 3);
+}
+
+TEST(Pipeline, MultiGeometryGeneratesDistinctPatterns) {
+  auto cfg = mini_config();
+  dcore::Pipeline pipeline(cfg);
+  const auto& data = pipeline.dataset();
+  const std::vector<diffpattern::geometry::BinaryGrid> one = {
+      data.patterns.front().topology};
+  const auto report = pipeline.legalize_topologies(one, 5);
+  EXPECT_GE(report.patterns.size(), 2U);
+  for (std::size_t i = 1; i < report.patterns.size(); ++i) {
+    EXPECT_FALSE(report.patterns[i].dx == report.patterns[0].dx &&
+                 report.patterns[i].dy == report.patterns[0].dy);
+  }
+}

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "drc/checker.h"
+#include "metrics/metrics.h"
+
+namespace dgen = diffpattern::datagen;
+namespace dd = diffpattern::drc;
+namespace dc = diffpattern::common;
+namespace dl = diffpattern::layout;
+
+namespace {
+
+dgen::DatagenConfig quick_config() {
+  dgen::DatagenConfig cfg;
+  cfg.tile = 2048;
+  cfg.rules = dd::standard_rules();
+  cfg.min_shapes = 2;
+  cfg.max_shapes = 4;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Datagen, TilesAreAlwaysDrcClean) {
+  dc::Rng rng(1);
+  const auto cfg = quick_config();
+  for (int i = 0; i < 10; ++i) {
+    const auto tile = dgen::generate_tile(cfg, rng);
+    EXPECT_TRUE(dd::check_layout(tile, cfg.rules).clean()) << "tile " << i;
+    EXPECT_FALSE(tile.rects.empty());
+    EXPECT_EQ(tile.width, cfg.tile);
+  }
+}
+
+TEST(Datagen, TilesRespectEuclideanCornerRuleToo) {
+  // Construction-by-inflation guarantees diagonal clearance as well; check
+  // against the extended rule set.
+  dc::Rng rng(2);
+  auto cfg = quick_config();
+  auto rules = cfg.rules;
+  rules.euclidean_corner_space = true;
+  for (int i = 0; i < 6; ++i) {
+    const auto tile = dgen::generate_tile(cfg, rng);
+    EXPECT_TRUE(dd::check_layout(tile, rules).clean()) << "tile " << i;
+  }
+}
+
+TEST(Datagen, TilesVaryInComplexity) {
+  dc::Rng rng(3);
+  const auto cfg = quick_config();
+  std::set<std::pair<std::int64_t, std::int64_t>> complexities;
+  for (int i = 0; i < 12; ++i) {
+    const auto tile = dgen::generate_tile(cfg, rng);
+    const auto c =
+        diffpattern::metrics::pattern_complexity(dl::extract_squish(tile));
+    complexities.insert({c.cx, c.cy});
+  }
+  EXPECT_GE(complexities.size(), 4U) << "generator lacks diversity";
+}
+
+TEST(Datagen, DatasetBuildsWithPaddedPatterns) {
+  dc::Rng rng(4);
+  const auto dataset =
+      dgen::build_dataset(quick_config(), 12, 16, 4, 0.25, rng);
+  EXPECT_EQ(dataset.patterns.size(), 12U);
+  EXPECT_EQ(dataset.train_indices.size(), 9U);
+  EXPECT_EQ(dataset.test_indices.size(), 3U);
+  for (const auto& p : dataset.patterns) {
+    EXPECT_EQ(p.topology.rows(), 16);
+    EXPECT_EQ(p.topology.cols(), 16);
+    EXPECT_EQ(p.width(), 2048);
+    EXPECT_NO_THROW(p.validate());
+    // Padding must not break legality.
+    EXPECT_TRUE(dd::check_pattern(p, quick_config().rules).clean());
+  }
+  EXPECT_EQ(dataset.library.dx_pool.size(), 12U);
+}
+
+TEST(Datagen, FoldedBatchShape) {
+  dc::Rng rng(5);
+  const auto dataset = dgen::build_dataset(quick_config(), 6, 16, 4, 0.0, rng);
+  const auto batch = dataset.sample_training_batch(3, rng);
+  EXPECT_EQ(batch.shape(), (diffpattern::tensor::Shape{3, 4, 8, 8}));
+  for (std::int64_t i = 0; i < batch.numel(); ++i) {
+    EXPECT_TRUE(batch[i] == 0.0F || batch[i] == 1.0F);
+  }
+}
+
+TEST(Datagen, DeterministicForSeed) {
+  const auto cfg = quick_config();
+  dc::Rng rng_a(42);
+  dc::Rng rng_b(42);
+  const auto a = dgen::generate_tile(cfg, rng_a);
+  const auto b = dgen::generate_tile(cfg, rng_b);
+  ASSERT_EQ(a.rects.size(), b.rects.size());
+  for (std::size_t i = 0; i < a.rects.size(); ++i) {
+    EXPECT_EQ(a.rects[i], b.rects[i]);
+  }
+}
+
+TEST(Datagen, AugmentationTriplesAndStaysClean) {
+  auto cfg = quick_config();
+  cfg.augment = true;
+  dc::Rng rng(8);
+  const auto dataset = dgen::build_dataset(cfg, 18, 16, 4, 0.0, rng);
+  EXPECT_EQ(dataset.patterns.size(), 18U);
+  for (const auto& p : dataset.patterns) {
+    EXPECT_TRUE(dd::check_pattern(p, cfg.rules).clean());
+    EXPECT_EQ(p.width(), cfg.tile);
+    EXPECT_EQ(p.height(), cfg.tile);
+  }
+  // Mirror and transpose variants must actually appear: the transpose of
+  // pattern i+2 equals pattern i+1's... instead verify structurally — for
+  // each base pattern (every third), its mirror and transpose precede it.
+  const auto& base = dataset.patterns[2];
+  const auto& mirrored = dataset.patterns[0];
+  const auto& transposed = dataset.patterns[1];
+  EXPECT_EQ(mirrored.topology,
+            diffpattern::geometry::mirrored_horizontal(base.topology));
+  EXPECT_EQ(transposed.topology,
+            diffpattern::geometry::transposed(base.topology));
+  EXPECT_EQ(transposed.dx, base.dy);
+  EXPECT_EQ(transposed.dy, base.dx);
+}
+
+TEST(Datagen, AugmentedComplexityTransposesSwapCxCy) {
+  auto cfg = quick_config();
+  cfg.augment = true;
+  dc::Rng rng(9);
+  const auto dataset = dgen::build_dataset(cfg, 9, 16, 4, 0.0, rng);
+  const auto base =
+      diffpattern::metrics::pattern_complexity(dataset.patterns[2]);
+  const auto mir =
+      diffpattern::metrics::pattern_complexity(dataset.patterns[0]);
+  const auto tra =
+      diffpattern::metrics::pattern_complexity(dataset.patterns[1]);
+  EXPECT_EQ(mir.cx, base.cx);
+  EXPECT_EQ(mir.cy, base.cy);
+  EXPECT_EQ(tra.cx, base.cy);
+  EXPECT_EQ(tra.cy, base.cx);
+}
+
+TEST(Datagen, RejectsImpossibleConfig) {
+  dgen::DatagenConfig cfg = quick_config();
+  cfg.tile = 100;  // Tile smaller than 4 * width_min (= 256).
+  dc::Rng rng(6);
+  EXPECT_THROW(dgen::generate_tile(cfg, rng), std::invalid_argument);
+}

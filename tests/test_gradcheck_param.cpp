@@ -1,0 +1,152 @@
+// Parameterized numerical gradient checks over operator configuration
+// sweeps (convolution geometry, GroupNorm grouping, attention sizes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <tuple>
+
+#include "common/rng.h"
+#include "nn/autograd.h"
+#include "nn/ops.h"
+
+namespace nn = diffpattern::nn;
+namespace dc = diffpattern::common;
+using diffpattern::tensor::Shape;
+using diffpattern::tensor::Tensor;
+using nn::Var;
+
+namespace {
+
+Tensor random_tensor(dc::Rng& rng, Shape shape) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+void grad_check(const std::function<Var(const std::vector<Var>&)>& fn,
+                std::vector<Tensor> inputs, double eps = 1e-3,
+                double tol = 3e-2) {
+  std::vector<Var> vars;
+  vars.reserve(inputs.size());
+  for (auto& t : inputs) {
+    vars.emplace_back(t, true);
+  }
+  Var loss = fn(vars);
+  ASSERT_EQ(loss.numel(), 1);
+  loss.backward();
+  for (std::size_t vi = 0; vi < vars.size(); ++vi) {
+    const Tensor analytic = vars[vi].grad();
+    // Spot-check a strided subset to keep the sweep fast.
+    const auto stride =
+        std::max<std::int64_t>(1, inputs[vi].numel() / 24);
+    for (std::int64_t i = 0; i < inputs[vi].numel(); i += stride) {
+      const float saved = inputs[vi][i];
+      inputs[vi][i] = saved + static_cast<float>(eps);
+      std::vector<Var> vp;
+      for (const auto& t : inputs) vp.emplace_back(t, false);
+      const double lp = fn(vp).value()[0];
+      inputs[vi][i] = saved - static_cast<float>(eps);
+      std::vector<Var> vm;
+      for (const auto& t : inputs) vm.emplace_back(t, false);
+      const double lm = fn(vm).value()[0];
+      inputs[vi][i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double a = analytic[i];
+      const double denom = std::max({std::abs(a), std::abs(numeric), 1.0});
+      EXPECT_NEAR(a / denom, numeric / denom, tol)
+          << "input " << vi << " element " << i;
+    }
+  }
+}
+
+}  // namespace
+
+// (kernel, stride, padding, in_channels, out_channels, H, W)
+using ConvCase =
+    std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t,
+               std::int64_t, std::int64_t, std::int64_t>;
+
+class ConvGeometry : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometry, GradientsMatchNumerics) {
+  const auto [k, stride, pad, cin, cout, h, w] = GetParam();
+  dc::Rng rng(k * 100 + stride * 10 + pad);
+  // Output shape must be valid.
+  const auto oh = (h + 2 * pad - k) / stride + 1;
+  const auto ow = (w + 2 * pad - k) / stride + 1;
+  ASSERT_GT(oh, 0);
+  ASSERT_GT(ow, 0);
+  Tensor weight_mask = random_tensor(rng, {2, cout, oh, ow});
+  grad_check(
+      [&, stride = stride, pad = pad](const std::vector<Var>& v) {
+        Var y = nn::conv2d(v[0], v[1], v[2], stride, pad);
+        return nn::sum_all(nn::mul_const(y, weight_mask));
+      },
+      {random_tensor(rng, {2, cin, h, w}),
+       random_tensor(rng, {cout, cin, k, k}), random_tensor(rng, {cout})});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvGeometry,
+    ::testing::Values(ConvCase{1, 1, 0, 1, 1, 3, 3},   // Pointwise.
+                      ConvCase{3, 1, 1, 2, 3, 4, 4},   // Same-size 3x3.
+                      ConvCase{3, 2, 1, 2, 2, 6, 6},   // Strided downsample.
+                      ConvCase{5, 1, 2, 1, 2, 5, 5},   // 5x5 kernel.
+                      ConvCase{3, 1, 0, 3, 1, 5, 4},   // Valid (no pad).
+                      ConvCase{2, 2, 0, 1, 4, 4, 4},   // Even kernel.
+                      ConvCase{3, 3, 1, 2, 2, 7, 7})); // Stride 3.
+
+// (channels, groups)
+using GroupNormCase = std::tuple<std::int64_t, std::int64_t>;
+
+class GroupNormGrouping : public ::testing::TestWithParam<GroupNormCase> {};
+
+TEST_P(GroupNormGrouping, GradientsMatchNumerics) {
+  const auto [channels, groups] = GetParam();
+  dc::Rng rng(channels * 10 + groups);
+  Tensor weight_mask = random_tensor(rng, {2, channels, 3, 2});
+  grad_check(
+      [&, groups = groups](const std::vector<Var>& v) {
+        Var y = nn::group_norm(v[0], v[1], v[2], groups);
+        return nn::sum_all(nn::mul_const(y, weight_mask));
+      },
+      {random_tensor(rng, {2, channels, 3, 2}),
+       random_tensor(rng, {channels}), random_tensor(rng, {channels})});
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GroupNormGrouping,
+                         ::testing::Values(GroupNormCase{1, 1},
+                                           GroupNormCase{4, 1},
+                                           GroupNormCase{4, 2},
+                                           GroupNormCase{4, 4},
+                                           GroupNormCase{6, 3},
+                                           GroupNormCase{8, 8}));
+
+// (batch, tokens, dim)
+using AttnCase = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+class AttentionSizes : public ::testing::TestWithParam<AttnCase> {};
+
+TEST_P(AttentionSizes, CompositeAttentionGradients) {
+  const auto [b, t, d] = GetParam();
+  dc::Rng rng(b * 100 + t * 10 + d);
+  Tensor weight_mask = random_tensor(rng, {b, t, d});
+  grad_check(
+      [&, d = d](const std::vector<Var>& v) {
+        Var scores = nn::scale(nn::bmm(v[0], nn::permute(v[1], {0, 2, 1})),
+                               1.0F / std::sqrt(static_cast<float>(d)));
+        Var out = nn::bmm(nn::softmax_last(scores), v[2]);
+        return nn::sum_all(nn::mul_const(out, weight_mask));
+      },
+      {random_tensor(rng, {b, t, d}), random_tensor(rng, {b, t, d}),
+       random_tensor(rng, {b, t, d})});
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AttentionSizes,
+                         ::testing::Values(AttnCase{1, 2, 2},
+                                           AttnCase{1, 4, 3},
+                                           AttnCase{2, 3, 4},
+                                           AttnCase{3, 5, 2}));

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "io/io.h"
+#include "layout/squish.h"
+
+namespace dio = diffpattern::io;
+namespace dl = diffpattern::layout;
+namespace dg = diffpattern::geometry;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+dl::SquishPattern sample_pattern() {
+  dl::Layout l;
+  l.width = 100;
+  l.height = 100;
+  l.rects.push_back(dg::Rect{10, 10, 60, 40});
+  l.rects.push_back(dg::Rect{70, 50, 90, 90});
+  return dl::extract_squish(l);
+}
+
+}  // namespace
+
+TEST(Io, GridPgmHasCorrectHeaderAndSize) {
+  dg::BinaryGrid g(2, 3);
+  g.set(0, 0, 1);
+  const auto path = temp_path("dp_grid.pgm");
+  dio::write_grid_pgm(path, g, 4);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 12);
+  EXPECT_EQ(h, 8);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // Single whitespace after header.
+  std::vector<char> pixels(static_cast<std::size_t>(w * h));
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_TRUE(in.good());
+  // Grid row 0 renders at the image bottom: bottom-left block dark.
+  EXPECT_EQ(static_cast<unsigned char>(
+                pixels[static_cast<std::size_t>((h - 1) * w)]),
+            40);
+  // Top-right block light.
+  EXPECT_EQ(static_cast<unsigned char>(pixels[static_cast<std::size_t>(w - 1)]),
+            230);
+  std::remove(path.c_str());
+}
+
+TEST(Io, PatternPgmWrites) {
+  const auto path = temp_path("dp_pattern.pgm");
+  dio::write_pattern_pgm(path, sample_pattern(), 64);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 64U * 64U);
+  std::remove(path.c_str());
+}
+
+TEST(Io, TextFileRoundTrip) {
+  const auto path = temp_path("dp_text.csv");
+  dio::write_text_file(path, "a,b\n1,2\n");
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::remove(path.c_str());
+}
+
+TEST(Io, PatternLibraryRoundTrip) {
+  diffpattern::common::Rng rng(1);
+  std::vector<dl::SquishPattern> patterns;
+  for (int i = 0; i < 5; ++i) {
+    auto p = sample_pattern();
+    // Vary deltas to catch serialization mixups.
+    p.dx[0] += i;
+    p.dx[1] -= i;
+    patterns.push_back(p);
+  }
+  const auto path = temp_path("dp_library.bin");
+  dio::save_pattern_library(path, patterns);
+  const auto loaded = dio::load_pattern_library(path);
+  ASSERT_EQ(loaded.size(), patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    EXPECT_EQ(loaded[i].topology, patterns[i].topology);
+    EXPECT_EQ(loaded[i].dx, patterns[i].dx);
+    EXPECT_EQ(loaded[i].dy, patterns[i].dy);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Io, LoadRejectsGarbage) {
+  const auto path = temp_path("dp_garbage.bin");
+  dio::write_text_file(path, "not a library");
+  EXPECT_THROW(dio::load_pattern_library(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(dio::load_pattern_library("/nonexistent/lib.bin"),
+               std::runtime_error);
+}
+
+TEST(Io, EnsureDirectoryCreatesNestedPath) {
+  const auto base = temp_path("dp_io_dirs");
+  const auto nested = base + "/a/b";
+  dio::ensure_directory(nested);
+  EXPECT_TRUE(std::filesystem::is_directory(nested));
+  std::filesystem::remove_all(base);
+}

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "layout/squish.h"
+#include "metrics/metrics.h"
+
+namespace dm = diffpattern::metrics;
+namespace dl = diffpattern::layout;
+namespace dg = diffpattern::geometry;
+
+namespace {
+
+dl::SquishPattern pattern_from(const dg::BinaryGrid& grid) {
+  dl::SquishPattern p;
+  p.topology = grid;
+  p.dx.assign(static_cast<std::size_t>(grid.cols()), 10);
+  p.dy.assign(static_cast<std::size_t>(grid.rows()), 10);
+  return p;
+}
+
+}  // namespace
+
+TEST(Complexity, CountsScanLinesMinusOne) {
+  // Distinct rows/columns: a 3x4 canonical grid -> (3, 2).
+  dg::BinaryGrid g(3, 4);
+  g.set(0, 0, 1);
+  g.set(1, 1, 1);
+  g.set(2, 2, 1);
+  g.set(0, 3, 1);
+  const auto c = dm::pattern_complexity(pattern_from(g));
+  EXPECT_EQ(c.cx, 3);
+  EXPECT_EQ(c.cy, 2);
+}
+
+TEST(Complexity, PaddingDoesNotInflateComplexity) {
+  dg::BinaryGrid g(2, 2);
+  g.set(0, 0, 1);
+  auto base = pattern_from(g);
+  const auto c0 = dm::pattern_complexity(base);
+  auto padded = dl::pad_to(base, 8, 8);
+  const auto c1 = dm::pattern_complexity(padded);
+  EXPECT_EQ(c0, c1);
+}
+
+TEST(Complexity, TopologyComplexityMatchesPatternComplexity) {
+  dg::BinaryGrid g(4, 4);
+  g.set(1, 1, 1);
+  g.set(2, 1, 1);
+  EXPECT_EQ(dm::topology_complexity(g),
+            dm::pattern_complexity(pattern_from(g)));
+}
+
+TEST(Diversity, UniformBeatsConcentrated) {
+  std::vector<dm::Complexity> uniform;
+  std::vector<dm::Complexity> concentrated;
+  for (int i = 0; i < 16; ++i) {
+    uniform.push_back({i, i});
+    concentrated.push_back({1, 1});
+  }
+  EXPECT_NEAR(dm::diversity_entropy(uniform), 4.0, 1e-9);  // log2(16)
+  EXPECT_NEAR(dm::diversity_entropy(concentrated), 0.0, 1e-9);
+}
+
+TEST(Diversity, MatchesHandComputedEntropy) {
+  // Distribution {A: 1/2, B: 1/4, C: 1/4} -> H = 1.5 bits.
+  std::vector<dm::Complexity> cs = {{0, 0}, {0, 0}, {1, 0}, {2, 0}};
+  EXPECT_NEAR(dm::diversity_entropy(cs), 1.5, 1e-9);
+}
+
+TEST(Diversity, EmptyLibraryIsZero) {
+  EXPECT_EQ(dm::diversity_entropy({}), 0.0);
+}
+
+TEST(Histogram, CountsAndProbabilities) {
+  dm::ComplexityHistogram h(7, 7);
+  h.add({3, 4});
+  h.add({3, 4});
+  h.add({0, 0});
+  EXPECT_EQ(h.total(), 3);
+  EXPECT_EQ(h.count(3, 4), 2);
+  EXPECT_NEAR(h.probability(3, 4), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  dm::ComplexityHistogram h(3, 3);
+  h.add({100, -5});
+  EXPECT_EQ(h.count(3, 0), 1);
+}
+
+TEST(Histogram, IntersectionBounds) {
+  dm::ComplexityHistogram a(7, 7);
+  dm::ComplexityHistogram b(7, 7);
+  for (int i = 0; i < 8; ++i) {
+    a.add({i, i});
+    b.add({i, i});
+  }
+  EXPECT_NEAR(a.intersection(b), 1.0, 1e-12);
+  dm::ComplexityHistogram c(7, 7);
+  for (int i = 0; i < 8; ++i) {
+    c.add({7 - i, i});  // Anti-diagonal: overlaps only at the center... no,
+  }
+  // Diagonal vs anti-diagonal share bins (3,3)... Actually (i,i) vs (7-i,i)
+  // coincide only where i == 7-i, impossible for integers with 8 bins ->
+  // wait, i=3.5. No overlap.
+  EXPECT_NEAR(a.intersection(c), 0.0, 1e-12);
+}
+
+TEST(Histogram, CsvAndAsciiRender) {
+  dm::ComplexityHistogram h(3, 3);
+  h.add({1, 2});
+  const auto csv = h.to_csv();
+  EXPECT_NE(csv.find("cy\\cx"), std::string::npos);
+  EXPECT_NE(csv.find('1'), std::string::npos);
+  const auto ascii = h.to_ascii(4);
+  EXPECT_EQ(std::count(ascii.begin(), ascii.end(), '\n'), 4);
+}

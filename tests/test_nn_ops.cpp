@@ -1,0 +1,264 @@
+// Behavioural tests for autograd mechanics, module construction,
+// checkpointing, and op forward values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "nn/autograd.h"
+#include "nn/checkpoint.h"
+#include "nn/modules.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "tensor/tensor_ops.h"
+
+namespace nn = diffpattern::nn;
+namespace dc = diffpattern::common;
+using diffpattern::tensor::Tensor;
+using nn::Var;
+
+TEST(Autograd, BackwardRequiresScalar) {
+  Var x(Tensor({2, 2}, 1.0F), true);
+  Var y = nn::scale(x, 2.0F);
+  EXPECT_THROW(y.backward(), std::invalid_argument);
+}
+
+TEST(Autograd, NoGradPathSkipsGraph) {
+  Var x(Tensor({2}, 1.0F), /*requires_grad=*/false);
+  Var y = nn::scale(x, 3.0F);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(Autograd, GradAccumulatesAcrossBackwards) {
+  Var x(Tensor({1}, 2.0F), true);
+  Var loss = nn::sum_all(nn::mul(x, x));
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0F);
+  // A second backward on a fresh graph accumulates.
+  Var loss2 = nn::sum_all(nn::mul(x, x));
+  loss2.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0F);
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0F);
+}
+
+TEST(Autograd, DetachBlocksGradient) {
+  Var x(Tensor({2}, 3.0F), true);
+  Var d = nn::detach(x);
+  EXPECT_FALSE(d.requires_grad());
+  Var y(Tensor({2}, 1.0F), true);
+  Var loss = nn::sum_all(nn::mul(d, y));
+  loss.backward();
+  EXPECT_FLOAT_EQ(y.grad()[0], 3.0F);
+}
+
+TEST(Ops, SigmoidMatchesClosedForm) {
+  Var x(Tensor::from_data({3}, {-100.0F, 0.0F, 100.0F}));
+  Var s = nn::sigmoid(x);
+  EXPECT_NEAR(s.value()[0], 0.0F, 1e-6F);
+  EXPECT_NEAR(s.value()[1], 0.5F, 1e-6F);
+  EXPECT_NEAR(s.value()[2], 1.0F, 1e-6F);
+}
+
+TEST(Ops, SoftplusStableForLargeInputs) {
+  Var x(Tensor::from_data({2}, {100.0F, -100.0F}));
+  Var y = nn::softplus(x);
+  EXPECT_NEAR(y.value()[0], 100.0F, 1e-3F);
+  EXPECT_NEAR(y.value()[1], 0.0F, 1e-3F);
+}
+
+TEST(Ops, DropoutIdentityInEval) {
+  dc::Rng rng(1);
+  Var x(Tensor({4, 4}, 1.0F), true);
+  Var y = nn::dropout(x, 0.5F, /*training=*/false, rng);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y.value()[i], 1.0F);
+  }
+}
+
+TEST(Ops, DropoutScalesSurvivors) {
+  dc::Rng rng(2);
+  Var x(Tensor({1000}, 1.0F), true);
+  Var y = nn::dropout(x, 0.25F, /*training=*/true, rng);
+  int zeros = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y.value()[i];
+    if (v == 0.0F) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0F / 0.75F, 1e-5F);
+    }
+  }
+  EXPECT_NEAR(zeros, 250, 60);
+}
+
+TEST(Ops, UpsampleValues) {
+  Var x(Tensor::from_data({1, 1, 2, 2}, {1, 2, 3, 4}));
+  Var y = nn::upsample_nearest2(x);
+  ASSERT_EQ(y.dim(2), 4);
+  EXPECT_FLOAT_EQ(y.value().at({0, 0, 0, 0}), 1.0F);
+  EXPECT_FLOAT_EQ(y.value().at({0, 0, 0, 1}), 1.0F);
+  EXPECT_FLOAT_EQ(y.value().at({0, 0, 3, 3}), 4.0F);
+}
+
+TEST(Ops, ConcatSliceRoundTrip) {
+  Var a(Tensor({1, 2, 2, 2}, 1.0F));
+  Var b(Tensor({1, 3, 2, 2}, 2.0F));
+  Var c = nn::concat_channels(a, b);
+  ASSERT_EQ(c.dim(1), 5);
+  Var back = nn::slice_channels(c, 2, 3);
+  for (std::int64_t i = 0; i < back.numel(); ++i) {
+    EXPECT_FLOAT_EQ(back.value()[i], 2.0F);
+  }
+}
+
+TEST(Modules, RegistryRejectsDuplicates) {
+  nn::ParamRegistry reg;
+  reg.add("w", Tensor({2}, 0.0F));
+  EXPECT_THROW(reg.add("w", Tensor({2}, 0.0F)), std::invalid_argument);
+}
+
+TEST(Modules, LinearShapes) {
+  nn::ParamRegistry reg;
+  dc::Rng rng(3);
+  nn::Linear lin(reg, rng, "lin", 4, 6);
+  EXPECT_EQ(reg.parameter_count(), 4 * 6 + 6);
+  Var x(Tensor({2, 4}, 1.0F));
+  Var y = lin(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 6);
+}
+
+TEST(Modules, Conv2dShapes) {
+  nn::ParamRegistry reg;
+  dc::Rng rng(4);
+  nn::Conv2d conv(reg, rng, "conv", 3, 8, 3, /*stride=*/2, /*padding=*/1);
+  Var x(Tensor({2, 3, 8, 8}, 0.5F));
+  Var y = conv(x);
+  EXPECT_EQ(y.dim(1), 8);
+  EXPECT_EQ(y.dim(2), 4);
+  EXPECT_EQ(y.dim(3), 4);
+}
+
+TEST(Modules, GroupNormNormalizes) {
+  nn::ParamRegistry reg;
+  dc::Rng rng(5);
+  nn::GroupNorm gn(reg, "gn", 4, 2);
+  Tensor x({2, 4, 3, 3});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.normal(5.0, 2.0));
+  }
+  Var y = gn(Var(x));
+  // With gamma=1, beta=0 each (n, group) slice has ~zero mean, unit var.
+  const auto plane = 9;
+  const auto cg = 2;
+  for (std::int64_t n = 0; n < 2; ++n) {
+    for (std::int64_t g = 0; g < 2; ++g) {
+      double mean = 0.0, var = 0.0;
+      for (std::int64_t c = 0; c < cg; ++c) {
+        for (std::int64_t p = 0; p < plane; ++p) {
+          const float v = y.value().at({n, g * cg + c, p / 3, p % 3});
+          mean += v;
+          var += v * v;
+        }
+      }
+      const double m = cg * plane;
+      mean /= m;
+      var = var / m - mean * mean;
+      EXPECT_NEAR(mean, 0.0, 1e-4);
+      EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+  }
+}
+
+TEST(Modules, PickGroupCountDivides) {
+  EXPECT_EQ(nn::pick_group_count(32), 8);
+  EXPECT_EQ(nn::pick_group_count(12), 6);
+  EXPECT_EQ(nn::pick_group_count(7), 7);
+  EXPECT_EQ(nn::pick_group_count(1), 1);
+}
+
+TEST(Optim, AdamReducesQuadraticLoss) {
+  // Minimize ||x - target||^2; Adam should converge close to the target.
+  nn::ParamRegistry reg;
+  Var x = reg.add("x", Tensor({4}, 0.0F));
+  Tensor target = Tensor::from_data({4}, {1.0F, -2.0F, 0.5F, 3.0F});
+  nn::AdamConfig cfg;
+  cfg.learning_rate = 0.05F;
+  cfg.grad_clip_norm = 0.0F;
+  nn::Adam opt(reg.params(), cfg);
+  for (int it = 0; it < 400; ++it) {
+    opt.zero_grad();
+    Var diff = nn::add_const(x, diffpattern::tensor::scale(target, -1.0F));
+    Var loss = nn::sum_all(nn::mul(diff, diff));
+    loss.backward();
+    opt.step();
+  }
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x.value()[i], target[i], 0.05F);
+  }
+}
+
+TEST(Optim, GradClipBoundsStep) {
+  nn::ParamRegistry reg;
+  Var x = reg.add("x", Tensor({1}, 0.0F));
+  nn::AdamConfig cfg;
+  cfg.grad_clip_norm = 1.0F;
+  nn::Adam opt(reg.params(), cfg);
+  opt.zero_grad();
+  Var loss = nn::sum_all(nn::scale(x, 1e6F));
+  loss.backward();
+  const double norm = opt.step();
+  EXPECT_NEAR(norm, 1e6, 1e2);
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "dp_test_ckpt.bin";
+  dc::Rng rng(6);
+  nn::ParamRegistry reg1;
+  nn::Linear lin1(reg1, rng, "lin", 3, 2);
+  nn::save_checkpoint(reg1, path);
+  EXPECT_TRUE(nn::is_checkpoint_file(path));
+
+  dc::Rng rng2(99);  // Different init values.
+  nn::ParamRegistry reg2;
+  nn::Linear lin2(reg2, rng2, "lin", 3, 2);
+  nn::load_checkpoint(reg2, path);
+  for (std::size_t p = 0; p < reg1.size(); ++p) {
+    const Tensor& a = reg1.params()[p].value();
+    const Tensor& b = reg2.params()[p].value();
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      EXPECT_FLOAT_EQ(a[i], b[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMismatchedArchitecture) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "dp_test_ckpt2.bin";
+  dc::Rng rng(7);
+  nn::ParamRegistry reg1;
+  nn::Linear lin1(reg1, rng, "lin", 3, 2);
+  nn::save_checkpoint(reg1, path);
+
+  nn::ParamRegistry reg2;
+  nn::Linear lin2(reg2, rng, "other", 3, 2);
+  EXPECT_THROW(nn::load_checkpoint(reg2, path), std::invalid_argument);
+
+  nn::ParamRegistry reg3;
+  nn::Linear lin3(reg3, rng, "lin", 4, 2);
+  EXPECT_THROW(nn::load_checkpoint(reg3, path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  nn::ParamRegistry reg;
+  reg.add("x", Tensor({1}, 0.0F));
+  EXPECT_THROW(nn::load_checkpoint(reg, "/nonexistent/path.bin"),
+               std::runtime_error);
+  EXPECT_FALSE(nn::is_checkpoint_file("/nonexistent/path.bin"));
+}

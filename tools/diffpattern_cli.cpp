@@ -1,0 +1,214 @@
+// diffpattern_cli — command-line driver for the DiffPattern pipeline.
+//
+//   diffpattern_cli train    --out model.ckpt [--iters N] [--tiles N] [--seed S]
+//   diffpattern_cli generate --model model.ckpt --out library.bin
+//                            [--count N] [--geometries N] [--rules normal|space|area]
+//   diffpattern_cli evaluate --library library.bin [--rules normal|space|area]
+//   diffpattern_cli render   --library library.bin --out-dir DIR [--limit N]
+//
+// All subcommands share one scaled pipeline configuration; `train` writes a
+// checkpoint that `generate` reloads, and `generate` emits a pattern
+// library that `evaluate`/`render` consume. Exit code 0 on success, 1 on
+// usage errors, 2 on runtime failures.
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/pipeline.h"
+#include "drc/checker.h"
+#include "io/gds.h"
+#include "io/io.h"
+
+namespace dp = diffpattern;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoll(it->second);
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+int usage() {
+  std::cout <<
+      "diffpattern_cli — DiffPattern layout pattern generation\n\n"
+      "  train    --out model.ckpt [--iters N] [--tiles N] [--seed S]\n"
+      "  generate --model model.ckpt --out library.bin [--count N]\n"
+      "           [--geometries N] [--rules normal|space|area]\n"
+      "  evaluate --library library.bin [--rules normal|space|area]\n"
+      "  render   --library library.bin --out-dir DIR [--limit N]\n"
+      "  export-gds --library library.bin --out patterns.gds [--layer N]\n";
+  return 1;
+}
+
+dp::core::PipelineConfig cli_config(const Args& args) {
+  dp::core::PipelineConfig cfg;
+  cfg.datagen.quantum = 64;
+  cfg.datagen.min_shapes = 4;
+  cfg.datagen.max_shapes = 9;
+  cfg.datagen.extend_probability = 0.5;
+  cfg.dataset_tiles = args.get_int("tiles", 96);
+  cfg.grid_side = 16;
+  cfg.channels = 4;
+  cfg.schedule.steps = 40;
+  cfg.model_channels = 16;
+  cfg.train_iterations = args.get_int("iters", 900);
+  cfg.batch_size = 8;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+  return cfg;
+}
+
+dp::drc::DesignRules rules_by_name(const std::string& name) {
+  if (name == "space") {
+    return dp::drc::larger_space_rules();
+  }
+  if (name == "area") {
+    return dp::drc::smaller_area_rules();
+  }
+  if (name == "normal") {
+    return dp::drc::standard_rules();
+  }
+  throw std::invalid_argument("unknown rule deck: " + name +
+                              " (expected normal|space|area)");
+}
+
+int cmd_train(const Args& args) {
+  if (!args.has("out")) {
+    std::cerr << "train: --out is required\n";
+    return 1;
+  }
+  auto cfg = cli_config(args);
+  dp::core::Pipeline pipeline(cfg);
+  std::cout << "training for " << cfg.train_iterations << " iterations on "
+            << cfg.dataset_tiles << " synthetic tiles...\n";
+  pipeline.train([](std::int64_t it, const dp::diffusion::LossBreakdown& l) {
+    if ((it + 1) % 100 == 0) {
+      std::cout << "  iter " << (it + 1) << "  loss " << l.total << "\n";
+    }
+  });
+  pipeline.save_model(args.get("out", ""));
+  std::cout << "checkpoint written to " << args.get("out", "") << "\n";
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  if (!args.has("model") || !args.has("out")) {
+    std::cerr << "generate: --model and --out are required\n";
+    return 1;
+  }
+  auto cfg = cli_config(args);
+  cfg.datagen.rules = rules_by_name(args.get("rules", "normal"));
+  dp::core::Pipeline pipeline(cfg);
+  pipeline.load_model(args.get("model", ""));
+  const auto count = args.get_int("count", 64);
+  const auto geometries = args.get_int("geometries", 1);
+  std::cout << "generating " << count << " topologies (x" << geometries
+            << " geometries)...\n";
+  const auto report = pipeline.generate(count, geometries);
+  std::cout << "emitted " << report.patterns.size() << " legal patterns ("
+            << report.prefilter_rejected << " pre-filtered, "
+            << report.solver_rejected << " unsolvable)\n";
+  dp::io::save_pattern_library(args.get("out", ""), report.patterns);
+  std::cout << "library written to " << args.get("out", "") << "\n";
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  if (!args.has("library")) {
+    std::cerr << "evaluate: --library is required\n";
+    return 1;
+  }
+  const auto patterns =
+      dp::io::load_pattern_library(args.get("library", ""));
+  const auto rules = rules_by_name(args.get("rules", "normal"));
+  const auto eval = dp::core::evaluate_patterns(patterns, rules);
+  std::cout << "patterns:        " << eval.total_patterns << "\n"
+            << "legal:           " << eval.legal_patterns << " ("
+            << eval.legality_ratio() * 100.0 << "%)\n"
+            << "diversity:       " << eval.diversity << " bits\n"
+            << "legal diversity: " << eval.legal_diversity << " bits\n";
+  return 0;
+}
+
+int cmd_render(const Args& args) {
+  if (!args.has("library") || !args.has("out-dir")) {
+    std::cerr << "render: --library and --out-dir are required\n";
+    return 1;
+  }
+  const auto patterns =
+      dp::io::load_pattern_library(args.get("library", ""));
+  const auto dir = dp::io::ensure_directory(args.get("out-dir", ""));
+  const auto limit =
+      std::min<std::int64_t>(args.get_int("limit", 16),
+                             static_cast<std::int64_t>(patterns.size()));
+  for (std::int64_t i = 0; i < limit; ++i) {
+    dp::io::write_pattern_pgm(
+        dir + "/pattern_" + std::to_string(i) + ".pgm",
+        patterns[static_cast<std::size_t>(i)], 256);
+  }
+  std::cout << "rendered " << limit << " patterns to " << dir << "\n";
+  return 0;
+}
+
+int cmd_export_gds(const Args& args) {
+  if (!args.has("library") || !args.has("out")) {
+    std::cerr << "export-gds: --library and --out are required\n";
+    return 1;
+  }
+  const auto patterns =
+      dp::io::load_pattern_library(args.get("library", ""));
+  dp::io::write_pattern_library_gds(
+      args.get("out", ""), patterns,
+      static_cast<std::int16_t>(args.get_int("layer", 1)));
+  std::cout << "wrote " << patterns.size() << " structures to "
+            << args.get("out", "") << " (GDSII, 1 nm database unit)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::cerr << "expected --option value pairs, got '" << key << "'\n";
+      return 1;
+    }
+    args.options[key.substr(2)] = argv[i + 1];
+  }
+  try {
+    if (args.command == "train") {
+      return cmd_train(args);
+    }
+    if (args.command == "generate") {
+      return cmd_generate(args);
+    }
+    if (args.command == "evaluate") {
+      return cmd_evaluate(args);
+    }
+    if (args.command == "render") {
+      return cmd_render(args);
+    }
+    if (args.command == "export-gds") {
+      return cmd_export_gds(args);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
