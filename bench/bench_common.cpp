@@ -97,6 +97,27 @@ core::Pipeline& shared_trained_pipeline() {
   return pipeline;
 }
 
+service::PatternService& shared_service() {
+  return shared_trained_pipeline().service();
+}
+
+service::GenerateResult service_generate(
+    std::int64_t count, std::int64_t geometries_per_topology,
+    std::uint64_t seed) {
+  service::GenerateRequest request;
+  request.model = core::Pipeline::kServiceModel;
+  request.count = count;
+  request.geometries_per_topology = geometries_per_topology;
+  request.seed = seed;
+  auto result = shared_service().generate(request);
+  if (!result.ok()) {
+    std::cerr << "[bench] generate failed: " << result.status().to_string()
+              << "\n";
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
 void print_header(const std::string& title) {
   std::cout << "\n" << std::string(72, '=') << "\n"
             << title << "\n"

@@ -40,6 +40,18 @@ core::PipelineConfig bench_pipeline_config();
 /// messages.
 core::Pipeline& shared_trained_pipeline();
 
+/// The shared pipeline's PatternService, with the trained model registered
+/// under core::Pipeline::kServiceModel — drive experiments through typed
+/// requests against it.
+service::PatternService& shared_service();
+
+/// Issues one typed GenerateRequest against shared_service(); aborts the
+/// bench (with the status on stderr) on error, so experiment code stays
+/// linear.
+service::GenerateResult service_generate(std::int64_t count,
+                                         std::int64_t geometries_per_topology,
+                                         std::uint64_t seed);
+
 /// Prints a horizontal rule + title to stdout (uniform bench headers).
 void print_header(const std::string& title);
 

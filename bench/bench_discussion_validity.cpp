@@ -133,7 +133,8 @@ int main() {
   // DiffPattern: 100%-legal library.
   {
     std::cout << "[bench] generating the DiffPattern library...\n";
-    const auto report = pipeline.generate(scale.table1_topologies, 1);
+    const auto report =
+        dp::bench::service_generate(scale.table1_topologies, 1, /*seed=*/7);
     std::vector<dp::geometry::BinaryGrid> topologies;
     topologies.reserve(report.patterns.size());
     for (const auto& p : report.patterns) {

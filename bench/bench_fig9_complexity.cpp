@@ -31,7 +31,8 @@ int main() {
 
   std::cout << "[bench] generating " << scale.table1_topologies
             << " patterns...\n";
-  const auto report = pipeline.generate(scale.table1_topologies, 1);
+  const auto report =
+      dp::bench::service_generate(scale.table1_topologies, 1, /*seed=*/9);
   std::vector<dp::metrics::Complexity> generated;
   generated.reserve(report.patterns.size());
   for (const auto& pattern : report.patterns) {

@@ -157,28 +157,30 @@ int main() {
   tf_row.generated_topologies = -1;  // Sequential method: no topology stage.
   rows.push_back(tf_row);
 
-  // DiffPattern-S: one geometry per topology via the white-box assessment.
+  // DiffPattern-S: one geometry per topology via the white-box assessment,
+  // served as a typed request.
   std::cout << "[bench] generating with DiffPattern-S...\n";
   {
-    const auto report = pipeline.generate(n, 1);
+    const auto result = dp::bench::service_generate(n, 1, /*seed=*/101);
     const auto eval =
-        dp::core::evaluate_patterns(report.patterns, cfg.datagen.rules);
-    rows.push_back(Row{"DiffPattern-S", report.topologies_generated,
+        dp::core::evaluate_patterns(result.patterns, cfg.datagen.rules);
+    rows.push_back(Row{"DiffPattern-S", result.stats.topologies_requested,
                        eval.total_patterns, eval.diversity,
                        eval.legal_patterns, eval.legal_diversity});
     std::cout << "[bench]   prefilter rejected "
-              << report.prefilter_rejected << ", solver rejected "
-              << report.solver_rejected << " of " << n << " topologies\n";
+              << result.stats.prefilter_rejected << ", solver rejected "
+              << result.stats.solver_rejected << " of " << n
+              << " topologies\n";
   }
 
   // DiffPattern-L: several distinct geometries per topology.
   std::cout << "[bench] generating with DiffPattern-L...\n";
   {
-    const auto report =
-        pipeline.generate(n, scale.diffpattern_l_geometries);
+    const auto result = dp::bench::service_generate(
+        n, scale.diffpattern_l_geometries, /*seed=*/102);
     const auto eval =
-        dp::core::evaluate_patterns(report.patterns, cfg.datagen.rules);
-    rows.push_back(Row{"DiffPattern-L", report.topologies_generated,
+        dp::core::evaluate_patterns(result.patterns, cfg.datagen.rules);
+    rows.push_back(Row{"DiffPattern-L", result.stats.topologies_requested,
                        eval.total_patterns, eval.diversity,
                        eval.legal_patterns, eval.legal_diversity});
   }

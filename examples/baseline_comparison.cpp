@@ -54,10 +54,19 @@ int main() {
   const auto vcae_eval =
       dp::core::evaluate_patterns(vcae_patterns, cfg.datagen.rules);
 
-  // DiffPattern: discrete sampling + white-box assessment.
-  const auto report = pipeline.generate(n, 1);
+  // DiffPattern: discrete sampling + white-box assessment, served through
+  // the typed request API.
+  dp::service::GenerateRequest request;
+  request.model = dp::core::Pipeline::kServiceModel;
+  request.count = n;
+  request.seed = 55;
+  const auto served = pipeline.service().generate(request);
+  if (!served.ok()) {
+    std::cerr << "generate failed: " << served.status().to_string() << "\n";
+    return 1;
+  }
   const auto dp_eval =
-      dp::core::evaluate_patterns(report.patterns, cfg.datagen.rules);
+      dp::core::evaluate_patterns(served->patterns, cfg.datagen.rules);
 
   std::cout << "\n" << std::left << std::setw(16) << "Method" << std::right
             << std::setw(12) << "patterns" << std::setw(10) << "legal"

@@ -34,46 +34,54 @@ int main() {
 
   struct Deck {
     std::string name;
-    dp::drc::DesignRules rules;
+    std::string rule_set;  // Named deck registered with the service.
   };
   const std::vector<Deck> decks = {
-      {"original rules", dp::drc::standard_rules()},
-      {"migrated: larger Space_min", dp::drc::larger_space_rules()},
-      {"migrated: smaller Area_max", dp::drc::smaller_area_rules()},
+      {"original rules", "normal"},
+      {"migrated: larger Space_min", "space"},
+      {"migrated: smaller Area_max", "area"},
   };
 
   std::cout << "\n" << std::left << std::setw(30) << "Rule deck" << std::right
             << std::setw(10) << "legal" << std::setw(12) << "rejected"
             << std::setw(14) << "legality" << "\n"
             << std::string(66, '-') << "\n";
-  dp::common::Rng rng(9);
+  // Each deck is one typed legalization request against the service: the
+  // named rule sets ("normal" / "space" / "area") are served without
+  // retraining or resampling, and a bogus name comes back NOT_FOUND.
+  auto& service = pipeline.service();
   for (const auto& deck : decks) {
-    std::int64_t legal = 0;
-    std::int64_t rejected = 0;
-    for (const auto& topology : topologies) {
-      if (dp::legalize::prefilter_topology(topology) !=
-          dp::legalize::PrefilterVerdict::ok) {
-        ++rejected;
-        continue;
-      }
-      const auto result = dp::legalize::legalize_topology(
-          topology, deck.rules, cfg.datagen.tile, cfg.datagen.tile,
-          dp::legalize::SolverConfig{}, rng, &pipeline.dataset().library);
-      if (!result.success) {
-        ++rejected;
-        continue;
-      }
-      // Verify under the deck's own rules.
-      if (dp::drc::check_pattern(result.pattern, deck.rules).clean()) {
-        ++legal;
-      }
+    dp::service::LegalizeTopologiesRequest request;
+    request.model = dp::core::Pipeline::kServiceModel;
+    request.topologies = topologies;
+    request.rule_set = deck.rule_set;
+    request.seed = 9;
+    const auto result = service.legalize_topologies(request);
+    if (!result.ok()) {
+      std::cerr << "legalize failed: " << result.status().to_string() << "\n";
+      return 1;
     }
-    const auto emitted = legal;  // Only clean patterns are ever emitted.
+    // Verify under the deck's own rules: emitted == clean by construction.
+    const auto rules = service.rule_set(deck.rule_set).value();
+    std::int64_t legal = 0;
+    for (const auto& pattern : result->patterns) {
+      legal += dp::drc::check_pattern(pattern, rules).clean();
+    }
+    const auto rejected =
+        result->stats.prefilter_rejected + result->stats.solver_rejected;
     std::cout << std::left << std::setw(30) << deck.name << std::right
-              << std::setw(10) << emitted << std::setw(12) << rejected
+              << std::setw(10) << legal << std::setw(12) << rejected
               << std::setw(13) << std::fixed << std::setprecision(1)
-              << (emitted > 0 ? 100.0 : 0.0) << "%" << "\n";
+              << (legal > 0 ? 100.0 : 0.0) << "%" << "\n";
   }
+
+  dp::service::LegalizeTopologiesRequest bogus;
+  bogus.model = dp::core::Pipeline::kServiceModel;
+  bogus.topologies = topologies;
+  bogus.rule_set = "euv-beta";
+  std::cout << "\nAn unknown deck is a typed error: "
+            << service.legalize_topologies(bogus).status().to_string()
+            << "\n";
   std::cout << "\nEvery emitted pattern is 100% legal under ITS deck — the "
             << "same topologies, no retraining. Rejections are topologies "
             << "whose structure cannot satisfy the tighter deck (reported, "

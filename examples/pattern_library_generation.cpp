@@ -2,10 +2,12 @@
 //
 // A lithography/hotspot team needs a large library of LEGAL layout patterns
 // for downstream ML (OPC recipes, hotspot detection). This example trains
-// the generator once, then builds a pattern library with one or many
-// geometry assignments per topology (DiffPattern-S vs -L), evaluates
-// diversity/legality, and serializes the library to disk.
+// the generator once, then builds the library through the PatternService:
+// four client threads issue typed GenerateRequests concurrently, the
+// service fuses their reverse-diffusion sampling into shared batches, and
+// per-request seeds keep every client's slice reproducible.
 #include <iostream>
+#include <thread>
 
 #include "core/pipeline.h"
 #include "io/gds.h"
@@ -31,16 +33,51 @@ int main() {
   pipeline.train();
 
   std::cout << "Building the library (DiffPattern-L: several legal "
-               "geometries per topology)...\n";
-  const auto report = pipeline.generate(/*topologies=*/32,
-                                        /*geometries_per_topology=*/4);
-  const auto eval =
-      dp::core::evaluate_patterns(report.patterns, cfg.datagen.rules);
+               "geometries per topology) with 4 concurrent clients...\n";
+  auto& service = pipeline.service();
+  constexpr int kClients = 4;
+  std::vector<dp::common::Result<dp::service::GenerateResult>> results(
+      kClients, dp::common::Status::Unavailable("not served yet"));
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&service, &results, c] {
+        dp::service::GenerateRequest request;
+        request.model = dp::core::Pipeline::kServiceModel;
+        request.count = 8;
+        request.geometries_per_topology = 4;
+        request.seed = 100 + static_cast<std::uint64_t>(c);
+        results[static_cast<std::size_t>(c)] = service.generate(request);
+      });
+    }
+    for (auto& t : clients) {
+      t.join();
+    }
+  }
+
+  dp::service::GenerateStats stats;
+  std::vector<dp::layout::SquishPattern> patterns;
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      std::cerr << "client failed: " << result.status().to_string() << "\n";
+      return 1;
+    }
+    stats.topologies_requested += result->stats.topologies_requested;
+    stats.prefilter_rejected += result->stats.prefilter_rejected;
+    stats.solver_rejected += result->stats.solver_rejected;
+    stats.fused_batch_slots = std::max(stats.fused_batch_slots,
+                                       result->stats.fused_batch_slots);
+    patterns.insert(patterns.end(), result->patterns.begin(),
+                    result->patterns.end());
+  }
+  const auto eval = dp::core::evaluate_patterns(patterns, cfg.datagen.rules);
 
   std::cout << "\nLibrary report\n--------------\n"
-            << "topologies sampled:   " << report.topologies_generated << "\n"
-            << "pre-filter rejected:  " << report.prefilter_rejected << "\n"
-            << "solver rejected:      " << report.solver_rejected << "\n"
+            << "topologies sampled:   " << stats.topologies_requested << "\n"
+            << "fused batch slots:    " << stats.fused_batch_slots
+            << " (sampling shared across clients)\n"
+            << "pre-filter rejected:  " << stats.prefilter_rejected << "\n"
+            << "solver rejected:      " << stats.solver_rejected << "\n"
             << "patterns in library:  " << eval.total_patterns << "\n"
             << "DRC-legal:            " << eval.legal_patterns << " ("
             << eval.legality_ratio() * 100.0 << "%)\n"
@@ -56,9 +93,9 @@ int main() {
 
   const auto dir = dp::io::ensure_directory("example_out");
   const auto lib_path = dir + "/pattern_library.bin";
-  dp::io::save_pattern_library(lib_path, report.patterns);
+  dp::io::save_pattern_library(lib_path, patterns);
   std::cout << "\nLibrary serialized to " << lib_path << " ("
-            << report.patterns.size() << " patterns).\n";
+            << patterns.size() << " patterns).\n";
 
   // Round-trip check: a downstream consumer can load it back.
   const auto loaded = dp::io::load_pattern_library(lib_path);
@@ -74,7 +111,7 @@ int main() {
   // Interchange: export the library as GDSII (1 nm database unit) so it
   // opens directly in KLayout or a commercial DRC tool.
   const auto gds_path = dir + "/pattern_library.gds";
-  dp::io::write_pattern_library_gds(gds_path, report.patterns);
+  dp::io::write_pattern_library_gds(gds_path, patterns);
   std::cout << "GDSII export written to " << gds_path << "\n";
   return 0;
 }

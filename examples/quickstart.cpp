@@ -7,7 +7,7 @@
 //   1. Encoding a hand-built layout as a squish pattern (paper Fig. 2).
 //   2. Folding it into a Deep Squish tensor (paper Sec. III-B).
 //   3. Training a small discrete diffusion model on synthetic tiles.
-//   4. Sampling topologies, running the white-box legal assessment, and
+//   4. Serving a typed GenerateRequest through the PatternService API and
 //      verifying every emitted pattern with the DRC.
 #include <iostream>
 
@@ -76,27 +76,50 @@ int main() {
     }
   });
 
-  std::cout << "\n== 4. Generate, legalize, verify ==\n";
-  const auto report = pipeline.generate(/*topologies=*/8);
-  std::cout << "Sampled 8 topologies: " << report.prefilter_rejected
-            << " rejected by the pre-filter, " << report.solver_rejected
-            << " unsolvable, " << report.patterns.size()
+  std::cout << "\n== 4. Serve a typed GenerateRequest ==\n";
+  // The trained model is registered with the pipeline's PatternService;
+  // requests are typed, errors come back as Status codes (never thrown),
+  // and the same seed reproduces byte-identical patterns even when other
+  // requests run concurrently.
+  auto& service = pipeline.service();
+  dp::service::GenerateRequest request;
+  request.model = dp::core::Pipeline::kServiceModel;
+  request.count = 8;
+  request.seed = 2023;
+  const auto result = service.generate(request);
+  if (!result.ok()) {
+    std::cerr << "generate failed: " << result.status().to_string() << "\n";
+    return 1;
+  }
+  const auto& stats = result->stats;
+  std::cout << "Sampled " << stats.topologies_requested
+            << " topologies: " << stats.prefilter_rejected
+            << " rejected by the pre-filter, " << stats.solver_rejected
+            << " unsolvable, " << result->patterns.size()
             << " legal patterns emitted.\n";
   std::int64_t clean = 0;
-  for (const auto& pattern : report.patterns) {
+  for (const auto& pattern : result->patterns) {
     clean += dp::drc::check_pattern(pattern, cfg.datagen.rules).clean();
   }
-  std::cout << "DRC verification: " << clean << "/" << report.patterns.size()
+  std::cout << "DRC verification: " << clean << "/"
+            << result->patterns.size()
             << " clean (the white-box assessment guarantees 100% of emitted "
                "patterns).\n";
-  if (!report.patterns.empty()) {
+
+  // Malformed requests are rejected with typed codes instead of UB.
+  dp::service::GenerateRequest bad = request;
+  bad.count = -3;
+  std::cout << "A count of -3 is rejected with: "
+            << service.generate(bad).status().to_string() << "\n";
+
+  if (!result->patterns.empty()) {
     const auto dir = dp::io::ensure_directory("example_out");
     dp::io::write_pattern_pgm(dir + "/quickstart_pattern.pgm",
-                              report.patterns.front(), 256);
+                              result->patterns.front(), 256);
     std::cout << "First pattern rendered to " << dir
               << "/quickstart_pattern.pgm\n";
     std::cout << "Its topology:\n"
-              << report.patterns.front().topology.to_ascii();
+              << result->patterns.front().topology.to_ascii();
   }
   return 0;
 }

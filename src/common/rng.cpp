@@ -6,6 +6,23 @@
 
 namespace diffpattern::common {
 
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream,
+                          std::uint64_t index) {
+  return splitmix64(splitmix64(seed ^ splitmix64(stream)) ^
+                    splitmix64(index));
+}
+
 double Rng::uniform(double lo, double hi) {
   DP_REQUIRE(lo < hi, "uniform: empty range");
   return std::uniform_real_distribution<double>(lo, hi)(engine_);

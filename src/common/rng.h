@@ -12,6 +12,13 @@
 
 namespace diffpattern::common {
 
+/// Deterministically derives a child seed from (seed, stream, index) via
+/// splitmix64. The service layer uses this to hand every request stage
+/// (sampling, per-topology legalization, ...) its own independent stream, so
+/// results are reproducible regardless of batching or thread scheduling.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream,
+                          std::uint64_t index = 0);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}

@@ -1,0 +1,30 @@
+#include "common/status.h"
+
+namespace diffpattern::common {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) {
+    return "OK";
+  }
+  return std::string(common::to_string(code_)) + ": " + message_;
+}
+
+}  // namespace diffpattern::common

@@ -1,0 +1,109 @@
+// Typed error propagation for the service API boundary.
+//
+// Every fallible call on the public service surface returns a Status (or a
+// Result<T> carrying one) instead of throwing: callers branch on the code,
+// and no exception crosses the API boundary. Codes follow the canonical
+// gRPC/absl vocabulary so they map directly onto a future RPC surface.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace diffpattern::common {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   // Request malformed; caller must fix it.
+  kNotFound = 2,          // Named model / rule set / file missing.
+  kFailedPrecondition = 3,  // Call ordering violated (e.g. untrained model).
+  kInternal = 4,          // Invariant broke inside the service.
+  kUnavailable = 5,       // Service shutting down; retry elsewhere.
+};
+
+const char* to_string(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error return type: holds T iff status().ok(). Accessing value()
+/// on an error is a programming bug and trips a DP_CHECK, never UB.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    DP_REQUIRE(!status_.ok(), "Result: OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DP_CHECK(ok(), "Result::value on error: " + status_.to_string());
+    return *value_;
+  }
+  T& value() & {
+    DP_CHECK(ok(), "Result::value on error: " + status_.to_string());
+    return *value_;
+  }
+  T&& value() && {
+    DP_CHECK(ok(), "Result::value on error: " + status_.to_string());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace diffpattern::common

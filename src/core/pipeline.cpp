@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/contracts.h"
 #include "common/timer.h"
@@ -39,14 +40,22 @@ std::int64_t PipelineConfig::folded_side() const {
 }
 
 unet::UNetConfig PipelineConfig::unet_config() const {
-  unet::UNetConfig cfg;
-  cfg.in_channels = channels;
-  cfg.out_channels = 2 * channels;
+  return to_model_config().unet_config();
+}
+
+service::ModelConfig PipelineConfig::to_model_config() const {
+  service::ModelConfig cfg;
+  cfg.grid_side = grid_side;
+  cfg.channels = channels;
+  cfg.schedule = schedule;
   cfg.model_channels = model_channels;
   cfg.channel_mult = channel_mult;
   cfg.num_res_blocks = num_res_blocks;
   cfg.attention_levels = attention_levels;
   cfg.dropout = dropout;
+  cfg.solver = solver;
+  cfg.tile = datagen.tile;
+  cfg.rules = datagen.rules;
   return cfg;
 }
 
@@ -121,6 +130,15 @@ Pipeline::Pipeline(PipelineConfig config)
   schedule_ = std::make_unique<diffusion::BinarySchedule>(config_.schedule);
   model_ = std::make_unique<unet::UNet>(config_.unet_config(),
                                         rng_.split().engine()());
+  service::ServiceConfig service_config;
+  // Matches the old in-pipeline sampling chunk size (bounds peak memory).
+  service_config.max_fused_batch = 16;
+  // The legacy facade never capped request sizes; chunked rounds keep the
+  // memory bounded, so don't let the service's serving limits reject what
+  // the old API accepted.
+  service_config.max_count = std::numeric_limits<std::int64_t>::max();
+  service_config.max_geometries = std::numeric_limits<std::int64_t>::max();
+  service_ = std::make_unique<service::PatternService>(service_config);
 }
 
 const datagen::Dataset& Pipeline::dataset() {
@@ -166,87 +184,106 @@ void Pipeline::train(const ProgressFn& progress) {
       progress(it, breakdown);
     }
   }
+  model_synced_ = false;
+}
+
+void Pipeline::throw_status(const common::Status& status) {
+  if (status.code() == common::StatusCode::kInvalidArgument) {
+    throw std::invalid_argument(status.to_string());
+  }
+  throw std::runtime_error(status.to_string());
+}
+
+std::uint64_t Pipeline::next_request_seed() {
+  // One draw per generation call keeps the legacy semantics: results depend
+  // deterministically on the construction seed and the call sequence.
+  return static_cast<std::uint64_t>(rng_.engine()());
+}
+
+void Pipeline::sync_service() {
+  if (model_synced_) {
+    return;
+  }
+  const auto& data = dataset();
+  // Serve the EMA weights when enabled (the standard DDPM evaluation trick).
+  const ScopedEmaWeights ema_scope(ema_.get());
+  const auto status = service_->models().register_model(
+      kServiceModel, config_.to_model_config(), model_->registry(),
+      data.library);
+  if (!status.ok()) {
+    throw_status(status);
+  }
+  model_synced_ = true;
+}
+
+service::PatternService& Pipeline::service() {
+  sync_service();
+  return *service_;
 }
 
 std::vector<BinaryGrid> Pipeline::sample_topologies(std::int64_t count) {
   DP_REQUIRE(count >= 1, "sample_topologies: count must be >= 1");
-  const ScopedEmaWeights ema_scope(ema_.get());
-  const auto m = config_.folded_side();
-  common::Rng sample_rng = rng_.split();
-  layout::DeepSquishConfig fold;
-  fold.channels = config_.channels;
-  std::vector<BinaryGrid> out;
-  out.reserve(static_cast<std::size_t>(count));
-  // Sample in batches to bound peak memory.
-  const std::int64_t batch = std::min<std::int64_t>(count, 16);
-  while (static_cast<std::int64_t>(out.size()) < count) {
-    const auto take = std::min<std::int64_t>(
-        batch, count - static_cast<std::int64_t>(out.size()));
-    const auto samples = diffusion::sample(*model_, *schedule_, take, m, m,
-                                           diffusion::SamplerConfig{},
-                                           sample_rng);
-    for (std::int64_t i = 0; i < take; ++i) {
-      tensor::Tensor one({config_.channels, m, m});
-      std::copy(samples.data() + i * one.numel(),
-                samples.data() + (i + 1) * one.numel(), one.data());
-      out.push_back(layout::unfold_topology(one, fold));
-    }
+  sync_service();
+  service::SampleTopologiesRequest request;
+  request.model = kServiceModel;
+  request.count = count;
+  request.seed = next_request_seed();
+  auto result = service_->sample_topologies(request);
+  if (!result.ok()) {
+    throw_status(result.status());
   }
-  return out;
+  return std::move(result->topologies);
 }
+
+namespace {
+
+GenerationReport to_report(service::GenerateResult result) {
+  GenerationReport report;
+  report.topologies_requested = result.stats.topologies_requested;
+  report.topologies_generated = result.stats.topologies_requested;
+  report.prefilter_rejected = result.stats.prefilter_rejected;
+  report.solver_rejected = result.stats.solver_rejected;
+  report.solver_rounds = result.stats.solver_rounds;
+  report.sampling_seconds = result.stats.sampling_seconds;
+  report.solving_seconds = result.stats.solving_seconds;
+  report.patterns = std::move(result.patterns);
+  return report;
+}
+
+}  // namespace
 
 GenerationReport Pipeline::generate(std::int64_t topologies,
                                     std::int64_t geometries_per_topology) {
-  common::Timer timer;
-  auto grids = sample_topologies(topologies);
-  GenerationReport report =
-      legalize_topologies(grids, geometries_per_topology);
-  report.sampling_seconds = timer.seconds() - report.solving_seconds;
-  return report;
+  sync_service();
+  service::GenerateRequest request;
+  request.model = kServiceModel;
+  request.count = topologies;
+  request.geometries_per_topology = geometries_per_topology;
+  request.seed = next_request_seed();
+  auto result = service_->generate(request);
+  if (!result.ok()) {
+    throw_status(result.status());
+  }
+  return to_report(std::move(result).value());
 }
 
 GenerationReport Pipeline::legalize_topologies(
     const std::vector<BinaryGrid>& topologies,
     std::int64_t geometries_per_topology) {
-  DP_REQUIRE(geometries_per_topology >= 1,
-             "legalize_topologies: need at least one geometry per topology");
-  const auto& data = dataset();
-  GenerationReport report;
-  report.topologies_requested = static_cast<std::int64_t>(topologies.size());
-  report.topologies_generated = report.topologies_requested;
-  common::Rng solve_rng = rng_.split();
-  common::Timer solve_timer;
-  for (const auto& topology : topologies) {
-    if (legalize::prefilter_topology(topology) !=
-        legalize::PrefilterVerdict::ok) {
-      ++report.prefilter_rejected;
-      continue;
-    }
-    if (geometries_per_topology == 1) {
-      auto result = legalize::legalize_topology(
-          topology, config_.datagen.rules, config_.datagen.tile,
-          config_.datagen.tile, config_.solver, solve_rng, &data.library);
-      report.solver_rounds += result.stats.rounds;
-      if (result.success) {
-        report.patterns.push_back(std::move(result.pattern));
-      } else {
-        ++report.solver_rejected;
-      }
-    } else {
-      auto patterns = legalize::legalize_topology_many(
-          topology, config_.datagen.rules, config_.datagen.tile,
-          config_.datagen.tile, config_.solver, geometries_per_topology,
-          solve_rng, &data.library);
-      if (patterns.empty()) {
-        ++report.solver_rejected;
-      }
-      for (auto& p : patterns) {
-        report.patterns.push_back(std::move(p));
-      }
-    }
+  if (topologies.empty()) {
+    return GenerationReport{};  // Legacy behavior: empty in, empty report.
   }
-  report.solving_seconds = solve_timer.seconds();
-  return report;
+  sync_service();
+  service::LegalizeTopologiesRequest request;
+  request.model = kServiceModel;
+  request.topologies = topologies;
+  request.geometries_per_topology = geometries_per_topology;
+  request.seed = next_request_seed();
+  auto result = service_->legalize_topologies(request);
+  if (!result.ok()) {
+    throw_status(result.status());
+  }
+  return to_report(std::move(result).value());
 }
 
 unet::UNet& Pipeline::model() { return *model_; }
@@ -257,6 +294,7 @@ void Pipeline::save_model(const std::string& path) {
 
 void Pipeline::load_model(const std::string& path) {
   nn::load_checkpoint(model_->registry(), path);
+  model_synced_ = false;
 }
 
 }  // namespace diffpattern::core

@@ -2,8 +2,13 @@
 // discrete diffusion training -> topology sampling -> pre-filter ->
 // white-box legalization -> DRC -> metrics.
 //
-// This is the library's primary entry point; the examples and every bench
-// drive their experiments through it.
+// Pipeline is now a thin compatibility wrapper: it still owns dataset
+// construction and training, but every generation call delegates to an
+// embedded service::PatternService (the trained model is registered there
+// under Pipeline::kServiceModel). New code should talk to the service
+// directly — typed requests, Status/Result errors, concurrent batched
+// execution; this facade keeps the original throwing single-threaded
+// surface for the existing examples, benches, and tests.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +23,7 @@
 #include "drc/checker.h"
 #include "legalize/solver.h"
 #include "metrics/metrics.h"
+#include "service/pattern_service.h"
 
 namespace diffpattern::core {
 
@@ -63,6 +69,9 @@ struct PipelineConfig {
   /// Derived model input side M.
   std::int64_t folded_side() const;
   unet::UNetConfig unet_config() const;
+  /// The service-side view of this configuration (model architecture,
+  /// schedule, solver, tile, default rule deck).
+  service::ModelConfig to_model_config() const;
 };
 
 struct GenerationReport {
@@ -104,6 +113,9 @@ class Pipeline {
  public:
   explicit Pipeline(PipelineConfig config);
 
+  /// Name under which the trained model is registered in service().
+  static constexpr const char* kServiceModel = "default";
+
   /// Generates the dataset (idempotent).
   const datagen::Dataset& dataset();
 
@@ -130,16 +142,29 @@ class Pipeline {
   unet::UNet& model();
   const PipelineConfig& config() const { return config_; }
 
+  /// The underlying service, with this pipeline's trained model registered
+  /// as kServiceModel (synced on first use and after train / load_model).
+  /// Issue typed requests against it for concurrent batched generation.
+  service::PatternService& service();
+
   void save_model(const std::string& path);
   void load_model(const std::string& path);
 
  private:
+  /// (Re-)registers the current weights + delta library with the service.
+  void sync_service();
+  std::uint64_t next_request_seed();
+  /// Converts a service error into the facade's legacy throwing behavior.
+  [[noreturn]] static void throw_status(const common::Status& status);
+
   PipelineConfig config_;
   common::Rng rng_;
   std::optional<datagen::Dataset> dataset_;
   std::unique_ptr<unet::UNet> model_;
   std::unique_ptr<diffusion::BinarySchedule> schedule_;
   std::unique_ptr<diffusion::Ema> ema_;
+  std::unique_ptr<service::PatternService> service_;
+  bool model_synced_ = false;
 };
 
 /// RAII helper: swaps EMA weights in for the scope when `ema` is non-null

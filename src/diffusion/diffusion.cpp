@@ -216,6 +216,64 @@ Tensor sample(unet::UNet& model, const BinarySchedule& schedule,
   return x;
 }
 
+Tensor sample_streams(unet::UNet& model, const BinarySchedule& schedule,
+                      std::int64_t height, std::int64_t width,
+                      const SamplerConfig& config,
+                      const std::vector<common::Rng*>& streams) {
+  const auto batch = static_cast<std::int64_t>(streams.size());
+  DP_REQUIRE(batch >= 1 && height >= 1 && width >= 1,
+             "sample_streams: bad output shape");
+  for (const auto* s : streams) {
+    DP_REQUIRE(s != nullptr, "sample_streams: null stream");
+  }
+  nn::NoGradGuard no_grad;
+  const auto c = model.config().in_channels;
+  Tensor x({batch, c, height, width});
+  const auto per_sample = x.numel() / batch;
+  // Uniform stationary prior, one slot at a time so slot n consumes only
+  // streams[n].
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* slot = x.data() + n * per_sample;
+    for (std::int64_t i = 0; i < per_sample; ++i) {
+      slot[i] = streams[static_cast<std::size_t>(n)]->bernoulli(0.5) ? 1.0F
+                                                                     : 0.0F;
+    }
+  }
+
+  // The forward pass never draws randomness at inference (dropout is
+  // identity when training == false), so a throwaway engine keeps the
+  // signature satisfied without coupling slots.
+  common::Rng forward_rng(0);
+  for (std::int64_t k = schedule.steps(); k >= 1; --k) {
+    const std::vector<std::int64_t> ks(static_cast<std::size_t>(batch), k);
+    Var logits = model.forward(x, ks, /*training=*/false, forward_rng);
+    const Tensor p0 = unet::logits_to_prob1(logits, c).value();
+    const auto coeffs = posterior_coeffs(schedule, k);
+    for (std::int64_t n = 0; n < batch; ++n) {
+      common::Rng& rng = *streams[static_cast<std::size_t>(n)];
+      float* slot = x.data() + n * per_sample;
+      const float* p0_slot = p0.data() + n * per_sample;
+      if (k == 1) {
+        for (std::int64_t i = 0; i < per_sample; ++i) {
+          const double p = p0_slot[i];
+          const bool one = config.final_argmax ? p >= 0.5 : rng.bernoulli(p);
+          slot[i] = one ? 1.0F : 0.0F;
+        }
+      } else {
+        for (std::int64_t i = 0; i < per_sample; ++i) {
+          const int xkv = slot[i] != 0.0F ? 1 : 0;
+          const double a = xkv == 1 ? coeffs.a1 : coeffs.a0;
+          const double b = xkv == 1 ? coeffs.b1 : coeffs.b0;
+          const double p1 = a * p0_slot[i] + b * (1.0 - p0_slot[i]);
+          slot[i] = rng.bernoulli(p1) ? 1.0F : 0.0F;
+        }
+      }
+    }
+  }
+  require_binary(x, "sample_streams output");
+  return x;
+}
+
 tensor::Tensor sample_strided(unet::UNet& model,
                               const BinarySchedule& schedule,
                               std::int64_t batch, std::int64_t height,

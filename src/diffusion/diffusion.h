@@ -89,6 +89,19 @@ tensor::Tensor sample(unet::UNet& model, const BinarySchedule& schedule,
                       common::Rng& rng,
                       const SampleObserver& observer = nullptr);
 
+/// Fused reverse-diffusion over streams.size() samples in ONE batch: the
+/// U-Net forward runs once per step for the whole batch, while sample i
+/// draws its stochastic transitions exclusively from *streams[i]. Every
+/// network op treats batch entries independently, so slot i's output is
+/// bit-identical to a batch-1 run fed the same stream — this is what lets
+/// the service fuse queued requests without breaking per-request
+/// reproducibility. Returns [streams.size(), C, height, width].
+tensor::Tensor sample_streams(unet::UNet& model,
+                              const BinarySchedule& schedule,
+                              std::int64_t height, std::int64_t width,
+                              const SamplerConfig& config,
+                              const std::vector<common::Rng*>& streams);
+
 /// Strided (DDIM-style [12]) fast sampler: walks a subsequence of the K
 /// steps — K, K - stride, K - 2*stride, ..., 1 — using the generalized
 /// jump posterior q(x_{k_prev} | x_k, x0_tilde). stride == 1 reduces to the

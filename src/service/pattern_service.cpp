@@ -1,0 +1,572 @@
+#include "service/pattern_service.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "diffusion/diffusion.h"
+#include "layout/deep_squish.h"
+#include "legalize/constraints.h"
+#include "service/worker_pool.h"
+
+namespace diffpattern::service {
+
+namespace {
+
+// Stream tags for common::derive_seed: each request stage owns a disjoint
+// RNG stream family keyed by (request seed, tag, index).
+constexpr std::uint64_t kSampleStream = 0x53414D50;    // "SAMP"
+constexpr std::uint64_t kLegalizeStream = 0x4C45474C;  // "LEGL"
+
+common::Status exception_to_status(const std::exception& e) {
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return common::Status::InvalidArgument(e.what());
+  }
+  return common::Status::Internal(e.what());
+}
+
+/// One queued sampling request. Slots [0, count) map 1:1 onto output
+/// topologies; each slot's noise comes from its own derived stream, so a
+/// request's output is invariant to how rounds chunk or fuse the slots.
+struct SampleJob {
+  std::shared_ptr<const ModelArtifacts> artifacts;
+  std::int64_t count = 0;
+  std::uint64_t seed = 0;
+
+  std::int64_t next_slot = 0;  // Slots already handed to a round.
+  std::int64_t done_slots = 0;
+  std::vector<geometry::BinaryGrid> grids;
+  double sampling_seconds = 0.0;
+  std::int64_t fused_batch_slots = 0;
+  common::Status error;
+  std::promise<void> done;
+  bool fulfilled = false;
+
+  void finish(std::unique_lock<std::mutex>& /*held_queue_lock*/) {
+    if (!fulfilled) {
+      fulfilled = true;
+      done.set_value();
+    }
+  }
+};
+
+/// Per-topology legalization outcome, assembled in slot order afterwards.
+struct LegalizeSlot {
+  bool prefiltered = false;
+  bool rejected = false;
+  std::vector<layout::SquishPattern> patterns;
+  std::int64_t rounds = 0;
+  common::Status error;
+};
+
+}  // namespace
+
+struct PatternService::Impl {
+  explicit Impl(ServiceConfig cfg)
+      : config(cfg), workers(std::max<std::int64_t>(1, cfg.legalize_workers)) {
+    rule_sets["normal"] = drc::standard_rules();
+    rule_sets["space"] = drc::larger_space_rules();
+    rule_sets["area"] = drc::smaller_area_rules();
+    batcher = std::thread([this] { batcher_loop(); });
+  }
+
+  ~Impl() {
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      shutdown = true;
+    }
+    queue_cv.notify_all();
+    batcher.join();
+  }
+
+  common::Result<std::vector<geometry::BinaryGrid>> run_sampling(
+      std::shared_ptr<const ModelArtifacts> artifacts, std::int64_t count,
+      std::uint64_t seed, GenerateStats& stats);
+  common::Result<GenerateResult> run_legalization(
+      const ModelArtifacts& artifacts, const drc::DesignRules& rules,
+      const std::vector<geometry::BinaryGrid>& topologies,
+      std::int64_t geometries_per_topology, std::uint64_t seed,
+      GenerateStats stats);
+  void batcher_loop();
+  void run_round(std::unique_lock<std::mutex>& lock);
+
+  ServiceConfig config;
+  ModelRegistry registry;
+
+  mutable std::mutex rules_mutex;
+  std::map<std::string, drc::DesignRules> rule_sets;
+
+  WorkerPool workers;
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<std::shared_ptr<SampleJob>> queue;
+  bool shutdown = false;
+  std::thread batcher;
+};
+
+// ------------------------------------------------------------- batching
+
+void PatternService::Impl::batcher_loop() {
+  std::unique_lock<std::mutex> lock(queue_mutex);
+  for (;;) {
+    queue_cv.wait(lock, [this] { return shutdown || !queue.empty(); });
+    if (shutdown) {
+      for (auto& job : queue) {
+        job->error = common::Status::Unavailable(
+            "PatternService is shutting down");
+        job->finish(lock);
+      }
+      queue.clear();
+      return;
+    }
+    try {
+      run_round(lock);
+    } catch (...) {
+      // Last-ditch guard (e.g. bad_alloc building round bookkeeping): fail
+      // every queued request rather than terminating the batcher thread —
+      // no exception may cross the service boundary.
+      if (!lock.owns_lock()) {
+        lock.lock();  // run_round may throw from its unlocked section.
+      }
+      for (auto& job : queue) {
+        if (job->error.ok()) {
+          job->error =
+              common::Status::Internal("sampling round failed unexpectedly");
+        }
+        job->finish(lock);
+      }
+      queue.clear();
+    }
+  }
+}
+
+/// Pops up to max_fused_batch slots for ONE model off the queue, runs a
+/// single fused reverse-diffusion batch over them (dropping the lock for
+/// the duration), and completes any job whose slots are all sampled.
+void PatternService::Impl::run_round(std::unique_lock<std::mutex>& lock) {
+  struct RoundEntry {
+    std::shared_ptr<SampleJob> job;
+    std::int64_t slot_begin = 0;
+    std::int64_t slots = 0;
+  };
+  std::vector<RoundEntry> round;
+  const ModelArtifacts* model = nullptr;
+  std::shared_ptr<SampleJob> leftover;  // Partially-handed job, if any.
+  std::int64_t budget = std::max<std::int64_t>(1, config.max_fused_batch);
+  for (auto it = queue.begin(); it != queue.end() && budget > 0;) {
+    auto& job = *it;
+    if (model == nullptr) {
+      model = job->artifacts.get();
+    }
+    if (job->artifacts.get() != model) {
+      ++it;  // Different model; a later round picks it up.
+      continue;
+    }
+    const auto take = std::min(budget, job->count - job->next_slot);
+    round.push_back(RoundEntry{job, job->next_slot, take});
+    job->next_slot += take;
+    budget -= take;
+    if (job->next_slot == job->count) {
+      it = queue.erase(it);
+    } else {
+      leftover = job;
+      it = queue.erase(it);
+    }
+  }
+  if (round.empty()) {
+    return;
+  }
+  if (leftover != nullptr) {
+    // Requeue the unfinished job at the back so other jobs — including
+    // other models — get the next round instead of being head-of-line
+    // blocked by one oversized request. Per-slot RNG streams make the
+    // resulting round composition irrelevant to every job's output.
+    queue.push_back(std::move(leftover));
+  }
+
+  std::int64_t total_slots = 0;
+  for (const auto& entry : round) {
+    total_slots += entry.slots;
+  }
+
+  lock.unlock();
+  // Per-slot RNG streams: slot i of a request always gets
+  // derive_seed(seed, kSampleStream, i), independent of round composition.
+  std::vector<common::Rng> streams;
+  streams.reserve(static_cast<std::size_t>(total_slots));
+  for (const auto& entry : round) {
+    for (std::int64_t i = 0; i < entry.slots; ++i) {
+      streams.emplace_back(common::derive_seed(
+          entry.job->seed, kSampleStream,
+          static_cast<std::uint64_t>(entry.slot_begin + i)));
+    }
+  }
+  std::vector<common::Rng*> stream_ptrs;
+  stream_ptrs.reserve(streams.size());
+  for (auto& s : streams) {
+    stream_ptrs.push_back(&s);
+  }
+
+  common::Status round_error;
+  tensor::Tensor samples;
+  common::Timer timer;
+  const auto folded = model->config.folded_side();
+  if (!folded.ok()) {
+    round_error = folded.status();
+  } else {
+    try {
+      samples = diffusion::sample_streams(*model->model, *model->schedule,
+                                          *folded, *folded,
+                                          diffusion::SamplerConfig{},
+                                          stream_ptrs);
+    } catch (const std::exception& e) {
+      round_error = exception_to_status(e);
+    }
+  }
+  const double round_seconds = timer.seconds();
+
+  layout::DeepSquishConfig fold;
+  fold.channels = model->config.channels;
+  const auto per_slot = samples.numel() > 0 ? samples.numel() / total_slots
+                                            : 0;
+  std::int64_t cursor = 0;
+  lock.lock();
+  for (auto& entry : round) {
+    auto& job = *entry.job;
+    if (!round_error.ok()) {
+      if (job.error.ok()) {
+        job.error = round_error;
+      }
+      job.finish(lock);
+      cursor += entry.slots;
+      continue;
+    }
+    for (std::int64_t i = 0; i < entry.slots; ++i) {
+      tensor::Tensor one({model->config.channels, *folded, *folded});
+      std::copy(samples.data() + (cursor + i) * per_slot,
+                samples.data() + (cursor + i + 1) * per_slot, one.data());
+      job.grids[static_cast<std::size_t>(entry.slot_begin + i)] =
+          layout::unfold_topology(one, fold);
+    }
+    cursor += entry.slots;
+    job.done_slots += entry.slots;
+    job.sampling_seconds +=
+        round_seconds * static_cast<double>(entry.slots) /
+        static_cast<double>(total_slots);
+    job.fused_batch_slots = std::max(job.fused_batch_slots, total_slots);
+    if (job.done_slots == job.count) {
+      job.finish(lock);
+    }
+  }
+  if (!round_error.ok()) {
+    // Failed jobs may still hold unhanded slots in the queue; drop them so
+    // later rounds don't sample for an already-answered request.
+    queue.erase(std::remove_if(queue.begin(), queue.end(),
+                               [](const std::shared_ptr<SampleJob>& job) {
+                                 return !job->error.ok();
+                               }),
+                queue.end());
+  }
+}
+
+common::Result<std::vector<geometry::BinaryGrid>>
+PatternService::Impl::run_sampling(
+    std::shared_ptr<const ModelArtifacts> artifacts, std::int64_t count,
+    std::uint64_t seed, GenerateStats& stats) {
+  auto job = std::make_shared<SampleJob>();
+  job->artifacts = std::move(artifacts);
+  job->count = count;
+  job->seed = seed;
+  job->grids.resize(static_cast<std::size_t>(count));
+  auto done = job->done.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex);
+    if (shutdown) {
+      return common::Status::Unavailable("PatternService is shutting down");
+    }
+    queue.push_back(job);
+  }
+  queue_cv.notify_one();
+  done.wait();
+  if (!job->error.ok()) {
+    return job->error;
+  }
+  stats.sampling_seconds += job->sampling_seconds;
+  stats.fused_batch_slots =
+      std::max(stats.fused_batch_slots, job->fused_batch_slots);
+  return std::move(job->grids);
+}
+
+// --------------------------------------------------------- legalization
+
+common::Result<GenerateResult> PatternService::Impl::run_legalization(
+    const ModelArtifacts& artifacts, const drc::DesignRules& rules,
+    const std::vector<geometry::BinaryGrid>& topologies,
+    std::int64_t geometries_per_topology, std::uint64_t seed,
+    GenerateStats stats) {
+  const auto n = static_cast<std::int64_t>(topologies.size());
+  std::vector<LegalizeSlot> slots(static_cast<std::size_t>(n));
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::int64_t done_count = 0;
+
+  const auto* library =
+      artifacts.library.empty() ? nullptr : &artifacts.library;
+  const auto& config = artifacts.config;
+  common::Timer solve_timer;
+  for (std::int64_t i = 0; i < n; ++i) {
+    workers.submit([&, i] {
+      LegalizeSlot& slot = slots[static_cast<std::size_t>(i)];
+      try {
+        const auto& topology = topologies[static_cast<std::size_t>(i)];
+        if (legalize::prefilter_topology(topology) !=
+            legalize::PrefilterVerdict::ok) {
+          slot.prefiltered = true;
+        } else {
+          common::Rng rng(common::derive_seed(
+              seed, kLegalizeStream, static_cast<std::uint64_t>(i)));
+          if (geometries_per_topology == 1) {
+            auto result = legalize::legalize_topology(
+                topology, rules, config.tile, config.tile, config.solver,
+                rng, library);
+            slot.rounds = result.stats.rounds;
+            if (result.success) {
+              slot.patterns.push_back(std::move(result.pattern));
+            } else {
+              slot.rejected = true;
+            }
+          } else {
+            slot.patterns = legalize::legalize_topology_many(
+                topology, rules, config.tile, config.tile, config.solver,
+                geometries_per_topology, rng, library);
+            slot.rejected = slot.patterns.empty();
+          }
+        }
+      } catch (const std::exception& e) {
+        slot.error = exception_to_status(e);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        ++done_count;
+      }
+      done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done_count == n; });
+  }
+  stats.solving_seconds += solve_timer.seconds();
+
+  GenerateResult result;
+  result.stats = stats;
+  result.stats.topologies_requested += n;
+  for (auto& slot : slots) {
+    if (!slot.error.ok()) {
+      return slot.error;
+    }
+    if (slot.prefiltered) {
+      ++result.stats.prefilter_rejected;
+    } else if (slot.rejected) {
+      ++result.stats.solver_rejected;
+    }
+    result.stats.solver_rounds += slot.rounds;
+    for (auto& pattern : slot.patterns) {
+      result.patterns.push_back(std::move(pattern));
+    }
+  }
+  return result;
+}
+
+// ------------------------------------------------------------ public API
+
+PatternService::PatternService(ServiceConfig config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+PatternService::~PatternService() = default;
+
+ModelRegistry& PatternService::models() { return impl_->registry; }
+
+const ServiceConfig& PatternService::config() const { return impl_->config; }
+
+common::Status PatternService::register_rule_set(
+    const std::string& name, const drc::DesignRules& rules) {
+  if (name.empty()) {
+    return common::Status::InvalidArgument(
+        "register_rule_set: name must be non-empty");
+  }
+  const std::lock_guard<std::mutex> lock(impl_->rules_mutex);
+  impl_->rule_sets[name] = rules;
+  return common::Status::Ok();
+}
+
+common::Result<drc::DesignRules> PatternService::rule_set(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(impl_->rules_mutex);
+  const auto it = impl_->rule_sets.find(name);
+  if (it == impl_->rule_sets.end()) {
+    return common::Status::NotFound("rule set '" + name +
+                                    "' is not registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> PatternService::rule_set_names() const {
+  const std::lock_guard<std::mutex> lock(impl_->rules_mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->rule_sets.size());
+  for (const auto& [name, rules] : impl_->rule_sets) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+namespace {
+
+common::Status validate_common(const PatternService& service,
+                               const ServiceConfig& config,
+                               const ModelRegistry& registry,
+                               const std::string& model, std::int64_t count,
+                               std::int64_t geometries,
+                               const std::string& rule_set) {
+  if (model.empty()) {
+    return common::Status::InvalidArgument("request names no model");
+  }
+  if (count < 1) {
+    return common::Status::InvalidArgument("count must be >= 1, got " +
+                                           std::to_string(count));
+  }
+  if (count > config.max_count) {
+    return common::Status::InvalidArgument(
+        "count " + std::to_string(count) + " exceeds max_count " +
+        std::to_string(config.max_count));
+  }
+  if (geometries < 1) {
+    return common::Status::InvalidArgument(
+        "geometries_per_topology must be >= 1, got " +
+        std::to_string(geometries));
+  }
+  if (geometries > config.max_geometries) {
+    return common::Status::InvalidArgument(
+        "geometries_per_topology " + std::to_string(geometries) +
+        " exceeds max_geometries " + std::to_string(config.max_geometries));
+  }
+  if (!registry.contains(model)) {
+    return common::Status::NotFound("model '" + model +
+                                    "' is not registered");
+  }
+  if (!rule_set.empty()) {
+    const auto rules = service.rule_set(rule_set);
+    if (!rules.ok()) {
+      return rules.status();
+    }
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+common::Status PatternService::validate(
+    const GenerateRequest& request) const {
+  return validate_common(*this, impl_->config, impl_->registry, request.model,
+                         request.count, request.geometries_per_topology,
+                         request.rule_set);
+}
+
+common::Result<GenerateResult> PatternService::generate(
+    const GenerateRequest& request) {
+  const auto valid = validate(request);
+  if (!valid.ok()) {
+    return valid;
+  }
+  auto artifacts = impl_->registry.lookup(request.model);
+  if (!artifacts.ok()) {
+    return artifacts.status();
+  }
+  drc::DesignRules rules = (*artifacts)->config.rules;
+  if (!request.rule_set.empty()) {
+    auto named = rule_set(request.rule_set);
+    if (!named.ok()) {
+      return named.status();
+    }
+    rules = std::move(named).value();
+  }
+  GenerateStats stats;
+  auto grids = impl_->run_sampling(*artifacts, request.count, request.seed,
+                                   stats);
+  if (!grids.ok()) {
+    return grids.status();
+  }
+  return impl_->run_legalization(**artifacts, rules, *grids,
+                                 request.geometries_per_topology,
+                                 request.seed, stats);
+}
+
+common::Result<SampleTopologiesResult> PatternService::sample_topologies(
+    const SampleTopologiesRequest& request) {
+  const auto valid =
+      validate_common(*this, impl_->config, impl_->registry, request.model,
+                      request.count, /*geometries=*/1, /*rule_set=*/"");
+  if (!valid.ok()) {
+    return valid;
+  }
+  auto artifacts = impl_->registry.lookup(request.model);
+  if (!artifacts.ok()) {
+    return artifacts.status();
+  }
+  SampleTopologiesResult result;
+  auto grids = impl_->run_sampling(*artifacts, request.count, request.seed,
+                                   result.stats);
+  if (!grids.ok()) {
+    return grids.status();
+  }
+  result.topologies = std::move(grids).value();
+  result.stats.topologies_requested = request.count;
+  return result;
+}
+
+common::Result<GenerateResult> PatternService::legalize_topologies(
+    const LegalizeTopologiesRequest& request) {
+  if (request.topologies.empty()) {
+    return common::Status::InvalidArgument(
+        "legalize_topologies: no topologies supplied");
+  }
+  for (const auto& t : request.topologies) {
+    if (t.empty()) {
+      return common::Status::InvalidArgument(
+          "legalize_topologies: empty topology grid");
+    }
+  }
+  const auto valid = validate_common(
+      *this, impl_->config, impl_->registry, request.model,
+      static_cast<std::int64_t>(request.topologies.size()),
+      request.geometries_per_topology, request.rule_set);
+  if (!valid.ok()) {
+    return valid;
+  }
+  auto artifacts = impl_->registry.lookup(request.model);
+  if (!artifacts.ok()) {
+    return artifacts.status();
+  }
+  drc::DesignRules rules = (*artifacts)->config.rules;
+  if (!request.rule_set.empty()) {
+    auto named = rule_set(request.rule_set);
+    if (!named.ok()) {
+      return named.status();
+    }
+    rules = std::move(named).value();
+  }
+  return impl_->run_legalization(**artifacts, rules, request.topologies,
+                                 request.geometries_per_topology,
+                                 request.seed, GenerateStats{});
+}
+
+}  // namespace diffpattern::service

@@ -1,0 +1,90 @@
+// PatternService — the service-oriented entry point for pattern generation.
+//
+// The service owns trained model artifacts (ModelRegistry), a named rule-set
+// table, a sampling batcher thread, and a legalization worker pool. Callers
+// issue typed requests from any thread:
+//
+//   PatternService service;
+//   service.models().register_model("prod", config, trained.registry(), lib);
+//   auto result = service.generate({.model = "prod", .count = 64, .seed = 7});
+//   if (!result.ok()) { ... result.status() ... }
+//
+// Execution model:
+//   * Reverse diffusion for concurrently queued requests of the same model
+//     is fused into one batch per denoising round, amortizing the U-Net
+//     forward passes (the dominant cost) across requests.
+//   * Pre-filter + white-box legalization then fan out per-topology onto the
+//     worker pool.
+//   * Every request stage draws from RNG streams derived from the request
+//     seed (common::derive_seed), so a given (model, seed) reproduces
+//     byte-identical patterns regardless of concurrency, batch fusion, or
+//     worker scheduling.
+//
+// No exception crosses this API: all fallible paths return Status / a
+// Result<T> with a typed StatusCode.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "drc/rules.h"
+#include "service/model_registry.h"
+#include "service/request.h"
+
+namespace diffpattern::service {
+
+struct ServiceConfig {
+  /// Threads in the legalization worker pool.
+  std::int64_t legalize_workers = 4;
+  /// Upper bound on sampling slots fused into one reverse-diffusion batch
+  /// (bounds peak activation memory; larger requests run in chunks).
+  std::int64_t max_fused_batch = 64;
+  /// Per-request topology cap; larger counts are INVALID_ARGUMENT.
+  std::int64_t max_count = 4096;
+  /// Per-request geometries-per-topology cap.
+  std::int64_t max_geometries = 256;
+};
+
+class PatternService {
+ public:
+  explicit PatternService(ServiceConfig config = ServiceConfig{});
+  ~PatternService();
+  PatternService(const PatternService&) = delete;
+  PatternService& operator=(const PatternService&) = delete;
+
+  ModelRegistry& models();
+  const ServiceConfig& config() const;
+
+  /// Named rule decks; "normal", "space", and "area" (the paper's Table I
+  /// rows) are pre-registered. Re-registering a name replaces it (hot
+  /// reload); in-flight requests keep the deck they resolved.
+  common::Status register_rule_set(const std::string& name,
+                                   const drc::DesignRules& rules);
+  common::Result<drc::DesignRules> rule_set(const std::string& name) const;
+  std::vector<std::string> rule_set_names() const;
+
+  /// Checks a request without executing it: INVALID_ARGUMENT for bad
+  /// counts, NOT_FOUND for an unregistered model or rule set.
+  common::Status validate(const GenerateRequest& request) const;
+
+  /// Full generation (sample -> pre-filter -> legalize). Blocks until the
+  /// request completes; thread-safe, and concurrent calls batch together.
+  common::Result<GenerateResult> generate(const GenerateRequest& request);
+
+  /// Topology sampling only.
+  common::Result<SampleTopologiesResult> sample_topologies(
+      const SampleTopologiesRequest& request);
+
+  /// Legalization of caller-supplied topologies.
+  common::Result<GenerateResult> legalize_topologies(
+      const LegalizeTopologiesRequest& request);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace diffpattern::service

@@ -1,0 +1,74 @@
+// Typed request/response messages for the PatternService API.
+//
+// Requests are plain value structs (trivially serializable later into an
+// RPC surface); every service call answers with Result<...> so invalid
+// input comes back as a typed Status instead of an exception or UB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/grid.h"
+#include "layout/squish.h"
+
+namespace diffpattern::service {
+
+/// Full generation: sample `count` topologies from `model`, pre-filter,
+/// and legalize under the named rule set (DiffPattern-L when
+/// geometries_per_topology > 1).
+struct GenerateRequest {
+  std::string model;                         ///< Registered model name.
+  std::int64_t count = 1;                    ///< Topologies to sample.
+  std::int64_t geometries_per_topology = 1;  ///< >1 = DiffPattern-L.
+  /// Named rule deck ("normal" | "space" | "area" | registered custom);
+  /// empty selects the model's default deck.
+  std::string rule_set;
+  /// Root of this request's deterministic RNG streams: the same seed yields
+  /// byte-identical patterns no matter how many requests run concurrently
+  /// or how sampling rounds are batched.
+  std::uint64_t seed = 0;
+};
+
+/// Topology sampling only (no legalization).
+struct SampleTopologiesRequest {
+  std::string model;
+  std::int64_t count = 1;
+  std::uint64_t seed = 0;
+};
+
+/// Legalize externally produced topologies (baseline assessment flows).
+struct LegalizeTopologiesRequest {
+  std::string model;  ///< Supplies the tile size, solver, and delta library.
+  std::vector<geometry::BinaryGrid> topologies;
+  std::int64_t geometries_per_topology = 1;
+  std::string rule_set;
+  std::uint64_t seed = 0;
+};
+
+struct GenerateStats {
+  std::int64_t topologies_requested = 0;
+  std::int64_t prefilter_rejected = 0;
+  std::int64_t solver_rejected = 0;
+  std::int64_t solver_rounds = 0;
+  double sampling_seconds = 0.0;  ///< This request's share of fused rounds.
+  double solving_seconds = 0.0;   ///< Wall time of the legalization fan-out.
+  /// Largest fused sampling batch that carried this request's slots (== its
+  /// own count when the request ran alone).
+  std::int64_t fused_batch_slots = 0;
+};
+
+struct GenerateResult {
+  /// DRC-clean patterns, ordered by topology index (geometries for one
+  /// topology stay contiguous), so a given seed reproduces an identical
+  /// vector regardless of worker scheduling.
+  std::vector<layout::SquishPattern> patterns;
+  GenerateStats stats;
+};
+
+struct SampleTopologiesResult {
+  std::vector<geometry::BinaryGrid> topologies;
+  GenerateStats stats;
+};
+
+}  // namespace diffpattern::service

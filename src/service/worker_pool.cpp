@@ -1,0 +1,53 @@
+#include "service/worker_pool.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace diffpattern::service {
+
+WorkerPool::WorkerPool(std::int64_t threads) {
+  DP_REQUIRE(threads >= 1, "WorkerPool: need at least one thread");
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (std::int64_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    DP_REQUIRE(!shutdown_, "WorkerPool::submit: pool is shutting down");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Shutdown with a drained queue.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace diffpattern::service

@@ -1,0 +1,42 @@
+// Fixed-size thread pool for the per-topology legalization fan-out.
+//
+// Deliberately minimal: FIFO queue, no futures (callers coordinate through
+// their own completion latches), tasks must not throw. Destruction drains
+// nothing — queued tasks still run, then the threads join.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace diffpattern::service {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::int64_t threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task; runs eventually on some worker thread.
+  void submit(std::function<void()> task);
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(threads_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace diffpattern::service

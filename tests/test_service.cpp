@@ -1,0 +1,330 @@
+// PatternService API tests: request validation (typed error codes), model
+// registry semantics, rule-set table, seed determinism, and concurrent
+// generation reproducing single-threaded results bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "drc/checker.h"
+#include "service/pattern_service.h"
+#include "unet/unet.h"
+
+namespace ds = diffpattern::service;
+namespace dc = diffpattern::common;
+namespace dd = diffpattern::drc;
+namespace dl = diffpattern::layout;
+
+namespace {
+
+ds::ModelConfig mini_model_config() {
+  ds::ModelConfig cfg;
+  cfg.grid_side = 16;
+  cfg.channels = 4;
+  cfg.schedule = {.steps = 6, .beta_start = 0.01, .beta_end = 0.5};
+  cfg.model_channels = 8;
+  cfg.channel_mult = {1, 2};
+  cfg.num_res_blocks = 1;
+  cfg.attention_levels = {};
+  cfg.dropout = 0.0F;
+  return cfg;
+}
+
+/// Service with an (untrained) model registered as "mini". Untrained
+/// weights are fine for API tests: the white-box assessment still only
+/// emits DRC-clean patterns.
+class PatternServiceTest : public ::testing::Test {
+ protected:
+  PatternServiceTest()
+      : model_(mini_model_config().unet_config(), /*seed=*/3) {
+    ds::ServiceConfig config;
+    config.legalize_workers = 2;
+    config.max_fused_batch = 16;
+    service_ = std::make_unique<ds::PatternService>(config);
+    const auto status = service_->models().register_model(
+        "mini", mini_model_config(), model_.registry(), {});
+    EXPECT_TRUE(status.ok()) << status.to_string();
+  }
+
+  diffpattern::unet::UNet model_;
+  std::unique_ptr<ds::PatternService> service_;
+};
+
+bool same_patterns(const std::vector<dl::SquishPattern>& a,
+                   const std::vector<dl::SquishPattern>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].topology == b[i].topology && a[i].dx == b[i].dx &&
+          a[i].dy == b[i].dy)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- validation
+
+TEST_F(PatternServiceTest, RejectsBadCounts) {
+  ds::GenerateRequest request{.model = "mini", .count = 0};
+  EXPECT_EQ(service_->validate(request).code(),
+            dc::StatusCode::kInvalidArgument);
+  request.count = -7;
+  EXPECT_EQ(service_->generate(request).status().code(),
+            dc::StatusCode::kInvalidArgument);
+  request.count = service_->config().max_count + 1;
+  EXPECT_EQ(service_->validate(request).code(),
+            dc::StatusCode::kInvalidArgument);
+  request.count = 1;
+  request.geometries_per_topology = 0;
+  EXPECT_EQ(service_->validate(request).code(),
+            dc::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PatternServiceTest, RejectsMissingModel) {
+  const ds::GenerateRequest request{.model = "nope", .count = 1};
+  EXPECT_EQ(service_->validate(request).code(), dc::StatusCode::kNotFound);
+  EXPECT_EQ(service_->generate(request).status().code(),
+            dc::StatusCode::kNotFound);
+  const ds::GenerateRequest unnamed{.model = "", .count = 1};
+  EXPECT_EQ(service_->validate(unnamed).code(),
+            dc::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PatternServiceTest, RejectsUnknownRuleSet) {
+  ds::GenerateRequest request{.model = "mini", .count = 1};
+  request.rule_set = "euv-beta";
+  EXPECT_EQ(service_->validate(request).code(), dc::StatusCode::kNotFound);
+  EXPECT_EQ(service_->generate(request).status().code(),
+            dc::StatusCode::kNotFound);
+}
+
+TEST_F(PatternServiceTest, RejectsEmptyLegalizeRequests) {
+  ds::LegalizeTopologiesRequest request;
+  request.model = "mini";
+  EXPECT_EQ(service_->legalize_topologies(request).status().code(),
+            dc::StatusCode::kInvalidArgument);
+  request.topologies.emplace_back();  // Empty grid.
+  EXPECT_EQ(service_->legalize_topologies(request).status().code(),
+            dc::StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------ registry
+
+TEST_F(PatternServiceTest, RegistryListsAndUnregisters) {
+  EXPECT_TRUE(service_->models().contains("mini"));
+  EXPECT_EQ(service_->models().names(),
+            std::vector<std::string>{"mini"});
+  EXPECT_TRUE(service_->models().lookup("mini").ok());
+  EXPECT_EQ(service_->models().lookup("ghost").status().code(),
+            dc::StatusCode::kNotFound);
+  EXPECT_TRUE(service_->models().unregister("mini").ok());
+  EXPECT_EQ(service_->models().unregister("mini").code(),
+            dc::StatusCode::kNotFound);
+  EXPECT_FALSE(service_->models().contains("mini"));
+}
+
+TEST_F(PatternServiceTest, RegistryRejectsBadConfigs) {
+  auto cfg = mini_model_config();
+  cfg.channels = 3;  // Not a perfect square.
+  EXPECT_EQ(service_->models()
+                .register_model("bad", cfg, model_.registry(), {})
+                .code(),
+            dc::StatusCode::kInvalidArgument);
+  cfg = mini_model_config();
+  cfg.grid_side = 15;  // Not divisible by sqrt(channels).
+  EXPECT_EQ(service_->models()
+                .register_model("bad", cfg, model_.registry(), {})
+                .code(),
+            dc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(service_->models()
+                .register_model("", mini_model_config(), model_.registry(),
+                                {})
+                .code(),
+            dc::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PatternServiceTest, RegistryRejectsMismatchedWeights) {
+  auto cfg = mini_model_config();
+  cfg.model_channels = 16;  // Different architecture than model_.
+  EXPECT_EQ(service_->models()
+                .register_model("wide", cfg, model_.registry(), {})
+                .code(),
+            dc::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PatternServiceTest, RegistryCheckpointMissingFileIsNotFound) {
+  EXPECT_EQ(service_->models()
+                .register_checkpoint("ckpt", mini_model_config(),
+                                     "/tmp/dp_no_such_checkpoint.bin", {})
+                .code(),
+            dc::StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------------- rule sets
+
+TEST_F(PatternServiceTest, RuleSetTableServesNamedDecks) {
+  const auto names = service_->rule_set_names();
+  EXPECT_EQ(names.size(), 3U);  // area, normal, space.
+  EXPECT_TRUE(service_->rule_set("normal").ok());
+  EXPECT_TRUE(service_->rule_set("space").ok());
+  EXPECT_TRUE(service_->rule_set("area").ok());
+  EXPECT_EQ(service_->rule_set("nope").status().code(),
+            dc::StatusCode::kNotFound);
+  EXPECT_EQ(service_->register_rule_set("", dd::standard_rules()).code(),
+            dc::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(
+      service_->register_rule_set("custom", dd::larger_space_rules()).ok());
+  EXPECT_TRUE(service_->rule_set("custom").ok());
+}
+
+// ---------------------------------------------------------- generation
+
+TEST_F(PatternServiceTest, GenerateEmitsOnlyDrcCleanPatterns) {
+  ds::GenerateRequest request{.model = "mini", .count = 6, .seed = 11};
+  const auto result = service_->generate(request);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->stats.topologies_requested, 6);
+  EXPECT_EQ(result->stats.prefilter_rejected +
+                result->stats.solver_rejected +
+                static_cast<std::int64_t>(result->patterns.size()),
+            6);
+  const auto rules = service_->rule_set("normal").value();
+  for (const auto& pattern : result->patterns) {
+    EXPECT_TRUE(dd::check_pattern(pattern, rules).clean());
+  }
+}
+
+TEST_F(PatternServiceTest, SampleTopologiesMatchesConfiguredGrid) {
+  ds::SampleTopologiesRequest request{.model = "mini", .count = 3,
+                                      .seed = 5};
+  const auto result = service_->sample_topologies(request);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  ASSERT_EQ(result->topologies.size(), 3U);
+  for (const auto& topology : result->topologies) {
+    EXPECT_EQ(topology.rows(), 16);
+    EXPECT_EQ(topology.cols(), 16);
+  }
+}
+
+TEST_F(PatternServiceTest, SameSeedReproducesByteIdenticalPatterns) {
+  const ds::GenerateRequest request{.model = "mini", .count = 5,
+                                    .geometries_per_topology = 2,
+                                    .seed = 77};
+  const auto a = service_->generate(request);
+  const auto b = service_->generate(request);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(same_patterns(a->patterns, b->patterns));
+}
+
+TEST_F(PatternServiceTest, DifferentSeedsDiverge) {
+  ds::SampleTopologiesRequest request{.model = "mini", .count = 4,
+                                      .seed = 1};
+  const auto a = service_->sample_topologies(request);
+  request.seed = 2;
+  const auto b = service_->sample_topologies(request);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_different = false;
+  for (std::size_t i = 0; i < a->topologies.size(); ++i) {
+    any_different =
+        any_different || !(a->topologies[i] == b->topologies[i]);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST_F(PatternServiceTest, RequestCountInvariantToRoundChunking) {
+  // A request larger than max_fused_batch runs in several fused rounds;
+  // per-slot streams must make the chunking invisible.
+  ds::SampleTopologiesRequest request{.model = "mini", .count = 3,
+                                      .seed = 21};
+  const auto small = service_->sample_topologies(request);
+  ASSERT_TRUE(small.ok());
+
+  ds::ServiceConfig tight;
+  tight.legalize_workers = 2;
+  tight.max_fused_batch = 2;  // Forces 3 slots into 2 rounds.
+  ds::PatternService chunked(tight);
+  ASSERT_TRUE(chunked.models()
+                  .register_model("mini", mini_model_config(),
+                                  model_.registry(), {})
+                  .ok());
+  const auto chunked_result = chunked.sample_topologies(request);
+  ASSERT_TRUE(chunked_result.ok());
+  ASSERT_EQ(small->topologies.size(), chunked_result->topologies.size());
+  for (std::size_t i = 0; i < small->topologies.size(); ++i) {
+    EXPECT_TRUE(small->topologies[i] == chunked_result->topologies[i]);
+  }
+}
+
+// ---------------------------------------------------------- concurrency
+
+TEST_F(PatternServiceTest, ConcurrentGenerateMatchesSingleThreaded) {
+  constexpr int kClients = 4;
+  const auto request_for = [](int client) {
+    return ds::GenerateRequest{.model = "mini", .count = 3,
+                               .geometries_per_topology = 1,
+                               .seed = 500 + static_cast<std::uint64_t>(
+                                                 client)};
+  };
+
+  // Single-threaded reference, one request at a time.
+  std::vector<ds::GenerateResult> reference;
+  for (int c = 0; c < kClients; ++c) {
+    auto result = service_->generate(request_for(c));
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    reference.push_back(std::move(result).value());
+  }
+
+  // The same requests from distinct threads; the service may fuse their
+  // sampling into shared batches and scatter legalization across workers.
+  std::vector<dc::Result<ds::GenerateResult>> concurrent(
+      kClients, dc::Status::Unavailable("not served"));
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        concurrent[static_cast<std::size_t>(c)] =
+            service_->generate(request_for(c));
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  }
+
+  for (int c = 0; c < kClients; ++c) {
+    const auto& result = concurrent[static_cast<std::size_t>(c)];
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_TRUE(same_patterns(reference[static_cast<std::size_t>(c)].patterns,
+                              result->patterns))
+        << "client " << c << " diverged under concurrency";
+  }
+}
+
+TEST_F(PatternServiceTest, ConcurrentDistinctRequestsAllComplete) {
+  constexpr int kClients = 6;
+  std::vector<dc::Result<ds::GenerateResult>> results(
+      kClients, dc::Status::Unavailable("not served"));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ds::GenerateRequest request{.model = "mini",
+                                  .count = 1 + (c % 3),
+                                  .seed = static_cast<std::uint64_t>(c)};
+      results[static_cast<std::size_t>(c)] = service_->generate(request);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    const auto& result = results[static_cast<std::size_t>(c)];
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_EQ(result->stats.topologies_requested, 1 + (c % 3));
+  }
+}

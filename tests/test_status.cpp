@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dc = diffpattern::common;
+
+TEST(Status, DefaultIsOk) {
+  const dc::Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), dc::StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const auto status = dc::Status::InvalidArgument("count must be >= 1");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), dc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "count must be >= 1");
+  EXPECT_EQ(status.to_string(), "INVALID_ARGUMENT: count must be >= 1");
+
+  EXPECT_EQ(dc::Status::NotFound("x").code(), dc::StatusCode::kNotFound);
+  EXPECT_EQ(dc::Status::FailedPrecondition("x").code(),
+            dc::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(dc::Status::Internal("x").code(), dc::StatusCode::kInternal);
+  EXPECT_EQ(dc::Status::Unavailable("x").code(),
+            dc::StatusCode::kUnavailable);
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(dc::Status::NotFound("m"), dc::Status::NotFound("m"));
+  EXPECT_FALSE(dc::Status::NotFound("m") == dc::Status::NotFound("other"));
+  EXPECT_FALSE(dc::Status::NotFound("m") == dc::Status::Internal("m"));
+}
+
+TEST(StatusCode, NamesAreCanonical) {
+  EXPECT_STREQ(dc::to_string(dc::StatusCode::kOk), "OK");
+  EXPECT_STREQ(dc::to_string(dc::StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(dc::to_string(dc::StatusCode::kNotFound), "NOT_FOUND");
+}
+
+TEST(Result, HoldsValueWhenOk) {
+  dc::Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.status().code(), dc::StatusCode::kOk);
+}
+
+TEST(Result, HoldsStatusWhenError) {
+  dc::Result<int> result(dc::Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), dc::StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(Result, ValueOnErrorIsTypedFailureNotUb) {
+  dc::Result<std::string> result(dc::Status::Internal("boom"));
+  EXPECT_THROW((void)result.value(), std::logic_error);
+}
+
+TEST(Result, OkStatusWithoutValueIsRejected) {
+  EXPECT_THROW(dc::Result<int>(dc::Status::Ok()), std::invalid_argument);
+}
+
+TEST(Result, MoveExtractsValue) {
+  dc::Result<std::string> result(std::string("payload"));
+  const std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Result, ArrowOperatorReachesMembers) {
+  dc::Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3U);
+}
+
+TEST(DeriveSeed, DeterministicAndStreamSeparated) {
+  EXPECT_EQ(dc::derive_seed(1, 2, 3), dc::derive_seed(1, 2, 3));
+  EXPECT_NE(dc::derive_seed(1, 2, 3), dc::derive_seed(1, 2, 4));
+  EXPECT_NE(dc::derive_seed(1, 2, 3), dc::derive_seed(1, 3, 3));
+  EXPECT_NE(dc::derive_seed(1, 2, 3), dc::derive_seed(2, 2, 3));
+  // Zero seed must still produce distinct streams (splitmix64 guarantees).
+  EXPECT_NE(dc::derive_seed(0, 0, 0), dc::derive_seed(0, 0, 1));
+}

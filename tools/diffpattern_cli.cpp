@@ -10,18 +10,26 @@
 // checkpoint that `generate` reloads, and `generate` emits a pattern
 // library that `evaluate`/`render` consume. Exit code 0 on success, 1 on
 // usage errors, 2 on runtime failures.
+#include <charconv>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "core/pipeline.h"
 #include "drc/checker.h"
 #include "io/gds.h"
 #include "io/io.h"
+#include "nn/checkpoint.h"
 
 namespace dp = diffpattern;
 
 namespace {
+
+/// Malformed command line (vs runtime failure): caught in main, exits 1.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::string command;
@@ -33,7 +41,17 @@ struct Args {
   }
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stoll(it->second);
+    if (it == options.end()) {
+      return fallback;
+    }
+    const std::string& text = it->second;
+    std::int64_t value = 0;
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size()) {
+      throw UsageError("invalid integer for --" + key + ": '" + text + "'");
+    }
+    return value;
   }
   bool has(const std::string& key) const { return options.count(key) > 0; }
 };
@@ -43,7 +61,7 @@ int usage() {
       "diffpattern_cli — DiffPattern layout pattern generation\n\n"
       "  train    --out model.ckpt [--iters N] [--tiles N] [--seed S]\n"
       "  generate --model model.ckpt --out library.bin [--count N]\n"
-      "           [--geometries N] [--rules normal|space|area]\n"
+      "           [--geometries N] [--rules normal|space|area] [--seed S]\n"
       "  evaluate --library library.bin [--rules normal|space|area]\n"
       "  render   --library library.bin --out-dir DIR [--limit N]\n"
       "  export-gds --library library.bin --out patterns.gds [--layer N]\n";
@@ -105,19 +123,37 @@ int cmd_generate(const Args& args) {
     std::cerr << "generate: --model and --out are required\n";
     return 1;
   }
+  const auto checkpoint = args.get("model", "");
+  if (!dp::nn::is_checkpoint_file(checkpoint)) {
+    std::cerr << "generate: '" << checkpoint
+              << "' is missing or not a checkpoint\n";
+    return 1;
+  }
   auto cfg = cli_config(args);
-  cfg.datagen.rules = rules_by_name(args.get("rules", "normal"));
+  // The pipeline bootstraps the dataset (for the Solving-E delta library)
+  // and registers the checkpoint with its PatternService; generation itself
+  // is one typed request whose errors come back as Status codes.
   dp::core::Pipeline pipeline(cfg);
-  pipeline.load_model(args.get("model", ""));
-  const auto count = args.get_int("count", 64);
-  const auto geometries = args.get_int("geometries", 1);
-  std::cout << "generating " << count << " topologies (x" << geometries
-            << " geometries)...\n";
-  const auto report = pipeline.generate(count, geometries);
-  std::cout << "emitted " << report.patterns.size() << " legal patterns ("
-            << report.prefilter_rejected << " pre-filtered, "
-            << report.solver_rejected << " unsolvable)\n";
-  dp::io::save_pattern_library(args.get("out", ""), report.patterns);
+  pipeline.load_model(checkpoint);
+  dp::service::GenerateRequest request;
+  request.model = dp::core::Pipeline::kServiceModel;
+  request.count = args.get_int("count", 64);
+  request.geometries_per_topology = args.get_int("geometries", 1);
+  request.rule_set = args.get("rules", "normal");
+  request.seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+  std::cout << "generating " << request.count << " topologies (x"
+            << request.geometries_per_topology << " geometries, rules '"
+            << request.rule_set << "', seed " << request.seed << ")...\n";
+  const auto result = pipeline.service().generate(request);
+  if (!result.ok()) {
+    std::cerr << "generate: " << result.status().to_string() << "\n";
+    return result.status().code() == dp::common::StatusCode::kInternal ? 2
+                                                                       : 1;
+  }
+  std::cout << "emitted " << result->patterns.size() << " legal patterns ("
+            << result->stats.prefilter_rejected << " pre-filtered, "
+            << result->stats.solver_rejected << " unsolvable)\n";
+  dp::io::save_pattern_library(args.get("out", ""), result->patterns);
   std::cout << "library written to " << args.get("out", "") << "\n";
   return 0;
 }
@@ -207,6 +243,9 @@ int main(int argc, char** argv) {
       return cmd_export_gds(args);
     }
     return usage();
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
