@@ -2,8 +2,11 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 
+#include "common/compute_pool.h"
 #include "common/timer.h"
 #include "io/io.h"
 #include "nn/checkpoint.h"
@@ -122,6 +125,25 @@ void print_header(const std::string& title) {
   std::cout << "\n" << std::string(72, '=') << "\n"
             << title << "\n"
             << std::string(72, '=') << "\n";
+}
+
+std::string write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"" << name << "\",\n"
+       << "  \"scale\": \"" << current_scale().name << "\",\n"
+       << "  \"threads\": " << diffpattern::common::global_compute_threads();
+  json << std::setprecision(9);
+  for (const auto& [key, value] : metrics) {
+    json << ",\n  \"" << key << "\": " << value;
+  }
+  json << "\n}\n";
+  const auto path = output_directory() + "/BENCH_" + name + ".json";
+  io::write_text_file(path, json.str());
+  std::cout << "bench JSON written to " << path << "\n";
+  return path;
 }
 
 }  // namespace diffpattern::bench

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/pipeline.h"
 
@@ -54,5 +56,13 @@ service::GenerateResult service_generate(std::int64_t count,
 
 /// Prints a horizontal rule + title to stdout (uniform bench headers).
 void print_header(const std::string& title);
+
+/// Writes bench_out/BENCH_<name>.json: one flat JSON object holding the
+/// bench name, the DP_BENCH_SCALE in effect, the compute-pool thread count,
+/// and the given metrics — the machine-readable points of the perf
+/// trajectory (CI uploads them as artifacts). Returns the path written.
+std::string write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics);
 
 }  // namespace diffpattern::bench

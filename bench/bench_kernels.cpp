@@ -1,0 +1,170 @@
+// Kernel microbench: the parallel/blocked tensor backend vs single-thread
+// execution, on the three shapes that dominate the reverse-diffusion hot
+// path — GEMM, batch-wide convolution, and row softmax.
+//
+// For every kernel the bench (a) verifies the parallel result is bitwise
+// equal to the retained naive reference at 1 thread AND at the ambient pool
+// size (the backend's determinism contract), and (b) reports best-of-reps
+// wall times for both pool sizes plus the speedup. Results land in
+// bench_out/BENCH_kernels.json; on a single-core host the speedup is ~1.0
+// by construction, so the exit code gates only on correctness.
+#include <cstring>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/compute_pool.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "nn/autograd.h"
+#include "nn/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace dp = diffpattern;
+using dp::tensor::Tensor;
+
+namespace {
+
+Tensor random_tensor(dp::tensor::Shape shape, dp::common::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+template <typename Fn>
+double best_of_seconds(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    dp::common::Timer timer;
+    fn();
+    const double s = timer.seconds();
+    if (r == 0 || s < best) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+void set_threads_or_die(std::int64_t threads) {
+  if (!dp::common::set_global_compute_threads(threads).ok()) {
+    std::cerr << "[bench] failed to size compute pool to " << threads << "\n";
+    std::abort();
+  }
+}
+
+}  // namespace
+
+int main() {
+  dp::bench::print_header(
+      "Kernel microbench: parallel/blocked backend vs single thread");
+  const auto ambient = dp::common::default_thread_count();
+  std::cout << "ambient compute pool: " << ambient << " thread(s)\n";
+  constexpr int kReps = 3;
+  dp::common::Rng rng(2023);
+
+  // ---- GEMM: C[256,512] = A[256,384] * B[384,512] -------------------------
+  const Tensor a = random_tensor({256, 384}, rng);
+  const Tensor b = random_tensor({384, 512}, rng);
+  const Tensor mm_ref = dp::tensor::reference::matmul(a, b);
+  set_threads_or_die(1);
+  const bool mm_ok_1t = bitwise_equal(dp::tensor::matmul(a, b), mm_ref);
+  const double mm_s_1t =
+      best_of_seconds(kReps, [&] { dp::tensor::matmul(a, b); });
+  set_threads_or_die(ambient);
+  const bool mm_ok_nt = bitwise_equal(dp::tensor::matmul(a, b), mm_ref);
+  const double mm_s_nt =
+      best_of_seconds(kReps, [&] { dp::tensor::matmul(a, b); });
+
+  // ---- conv2d forward: [16,16,32,32] * [32,16,3,3], stride 1, pad 1 -------
+  // Run under NoGradGuard — the sample_streams configuration — so the
+  // batch-wide im2col + single-GEMM path with scratch reuse is what is
+  // measured. The reference composes the retained per-sample kernels.
+  dp::nn::NoGradGuard no_grad;
+  const Tensor cx = random_tensor({16, 16, 32, 32}, rng);
+  const Tensor cw = random_tensor({32, 16, 3, 3}, rng);
+  const Tensor cb = random_tensor({32}, rng);
+  dp::tensor::Conv2dGeometry geom;
+  geom.in_channels = 16;
+  geom.in_h = 32;
+  geom.in_w = 32;
+  geom.kernel_h = 3;
+  geom.kernel_w = 3;
+  geom.stride = 1;
+  geom.padding = 1;
+  const auto n_out = geom.out_h() * geom.out_w();
+  Tensor conv_ref({16, 32, geom.out_h(), geom.out_w()});
+  const Tensor w2d = cw.reshaped({32, geom.patch_size()});
+  for (std::int64_t n = 0; n < 16; ++n) {
+    Tensor image({16, 32, 32});
+    std::copy(cx.data() + n * image.numel(),
+              cx.data() + (n + 1) * image.numel(), image.data());
+    const Tensor y =
+        dp::tensor::reference::matmul(w2d, dp::tensor::im2col(image, geom));
+    for (std::int64_t o = 0; o < 32; ++o) {
+      for (std::int64_t p = 0; p < n_out; ++p) {
+        conv_ref[(n * 32 + o) * n_out + p] = y[o * n_out + p] + cb[o];
+      }
+    }
+  }
+  const auto run_conv = [&] {
+    return dp::nn::conv2d(dp::nn::Var(cx), dp::nn::Var(cw), dp::nn::Var(cb),
+                          /*stride=*/1, /*padding=*/1)
+        .value();
+  };
+  set_threads_or_die(1);
+  const bool conv_ok_1t = bitwise_equal(run_conv(), conv_ref);
+  const double conv_s_1t = best_of_seconds(kReps, [&] { run_conv(); });
+  set_threads_or_die(ambient);
+  const bool conv_ok_nt = bitwise_equal(run_conv(), conv_ref);
+  const double conv_s_nt = best_of_seconds(kReps, [&] { run_conv(); });
+
+  // ---- softmax over [4096, 256] rows --------------------------------------
+  const Tensor logits = random_tensor({4096, 256}, rng);
+  const Tensor sm_ref = dp::tensor::reference::softmax_rows(logits);
+  set_threads_or_die(1);
+  const bool sm_ok_1t = bitwise_equal(dp::tensor::softmax_rows(logits), sm_ref);
+  const double sm_s_1t =
+      best_of_seconds(kReps, [&] { dp::tensor::softmax_rows(logits); });
+  set_threads_or_die(ambient);
+  const bool sm_ok_nt = bitwise_equal(dp::tensor::softmax_rows(logits), sm_ref);
+  const double sm_s_nt =
+      best_of_seconds(kReps, [&] { dp::tensor::softmax_rows(logits); });
+
+  const bool all_ok = mm_ok_1t && mm_ok_nt && conv_ok_1t && conv_ok_nt &&
+                      sm_ok_1t && sm_ok_nt;
+  const auto speedup = [](double s1, double sn) {
+    return sn > 0.0 ? s1 / sn : 0.0;
+  };
+  std::cout << "matmul  256x384x512:   " << mm_s_1t * 1000.0 << " ms -> "
+            << mm_s_nt * 1000.0 << " ms  (x" << speedup(mm_s_1t, mm_s_nt)
+            << ")\n"
+            << "conv2d  16x16x32x32:   " << conv_s_1t * 1000.0 << " ms -> "
+            << conv_s_nt * 1000.0 << " ms  (x" << speedup(conv_s_1t, conv_s_nt)
+            << ")\n"
+            << "softmax 4096x256:      " << sm_s_1t * 1000.0 << " ms -> "
+            << sm_s_nt * 1000.0 << " ms  (x" << speedup(sm_s_1t, sm_s_nt)
+            << ")\n"
+            << "bitwise equal to reference (1 and " << ambient
+            << " threads): " << (all_ok ? "yes" : "NO") << "\n";
+
+  dp::bench::write_bench_json(
+      "kernels",
+      {{"matmul_ms_1_thread", mm_s_1t * 1000.0},
+       {"matmul_ms_n_threads", mm_s_nt * 1000.0},
+       {"matmul_speedup", speedup(mm_s_1t, mm_s_nt)},
+       {"conv2d_ms_1_thread", conv_s_1t * 1000.0},
+       {"conv2d_ms_n_threads", conv_s_nt * 1000.0},
+       {"conv2d_speedup", speedup(conv_s_1t, conv_s_nt)},
+       {"softmax_ms_1_thread", sm_s_1t * 1000.0},
+       {"softmax_ms_n_threads", sm_s_nt * 1000.0},
+       {"softmax_speedup", speedup(sm_s_1t, sm_s_nt)},
+       {"bitwise_equal", all_ok ? 1.0 : 0.0}});
+  return all_ok ? 0 : 1;
+}

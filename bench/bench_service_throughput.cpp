@@ -3,11 +3,14 @@
 //
 // The PatternService executes reverse diffusion for concurrently queued
 // requests as one fused batch per denoising round, so the U-Net forward
-// passes (the dominant cost) are amortized across requests. This bench
-// issues the same requests twice — serially, then from concurrent client
-// threads — and reports wall time, the fused batch sizes the batcher
-// actually formed, and verifies that per-request seeds reproduce the
-// single-threaded topologies bit-for-bit.
+// passes (the dominant cost) are amortized across requests — and since the
+// parallel compute backend, each fused forward additionally fans out over
+// the tensor pool. This bench issues the same requests twice — serially on
+// a 1-thread pool (the single-thread baseline), then from concurrent client
+// threads on the ambient pool — and reports wall time, samples/sec, the
+// fused batch sizes the batcher actually formed, and verifies that
+// per-request seeds reproduce the baseline topologies bit-for-bit across
+// BOTH the batching and the thread-count change.
 #include <condition_variable>
 #include <iostream>
 #include <mutex>
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/compute_pool.h"
 #include "common/timer.h"
 #include "io/io.h"
 
@@ -104,17 +108,29 @@ int main() {
 
   // Interleave repetitions of both modes so allocator warm-up and machine
   // noise hit them symmetrically; keep the best run of each (the standard
-  // min-of-reps protocol for wall-clock benches).
+  // min-of-reps protocol for wall-clock benches). The sequential mode is
+  // pinned to a 1-thread compute pool — the pre-backend baseline — while
+  // the concurrent mode gets the ambient pool (DIFFPATTERN_THREADS or all
+  // hardware threads), so the speedup captures batching × kernel
+  // parallelism against true single-thread execution.
+  const auto ambient_threads = dp::common::global_compute_threads();
   constexpr int kReps = 5;
   RunResult sequential;
   RunResult concurrent;
   for (int rep = 0; rep < kReps; ++rep) {
     std::cout << "[bench] rep " << (rep + 1) << "/" << kReps << ": "
-              << kClients << " single-topology requests, sequential then "
-              << "concurrent...\n";
+              << kClients << " single-topology requests, sequential (1 "
+              << "thread) then concurrent (" << ambient_threads
+              << " threads)...\n";
+    if (!dp::common::set_global_compute_threads(1).ok()) {
+      std::abort();
+    }
     auto seq = run_sequential(service, kClients);
     if (rep == 0 || seq.wall_seconds < sequential.wall_seconds) {
       sequential = std::move(seq);
+    }
+    if (!dp::common::set_global_compute_threads(ambient_threads).ok()) {
+      std::abort();
     }
     auto conc = run_concurrent(service, kClients);
     if (rep == 0 || conc.wall_seconds < concurrent.wall_seconds) {
@@ -142,10 +158,24 @@ int main() {
                              ? sequential.wall_seconds /
                                    concurrent.wall_seconds
                              : 0.0;
+  const double seq_rate = sequential.wall_seconds > 0.0
+                              ? kClients / sequential.wall_seconds
+                              : 0.0;
+  const double conc_rate = concurrent.wall_seconds > 0.0
+                               ? kClients / concurrent.wall_seconds
+                               : 0.0;
+  const auto rounds = dp::bench::current_scale().diffusion_steps;
+  const double ms_per_round =
+      rounds > 0 ? concurrent.wall_seconds * 1000.0 /
+                       static_cast<double>(rounds)
+                 : 0.0;
   std::cout << "\nsequential wall time:  " << sequential.wall_seconds
-            << " s (every request sampled in its own round)\n"
+            << " s (every request in its own round, 1 compute thread)\n"
             << "concurrent wall time:  " << concurrent.wall_seconds
-            << " s (fused rounds of up to " << max_fused << " slots)\n"
+            << " s (fused rounds of up to " << max_fused << " slots, "
+            << ambient_threads << " compute threads)\n"
+            << "samples/sec:           " << seq_rate << " -> " << conc_rate
+            << "\n"
             << "speedup:               " << speedup << "x\n"
             << "bit-identical output:  " << (identical ? "yes" : "NO")
             << "\n";
@@ -161,5 +191,16 @@ int main() {
           std::to_string(concurrent.wall_seconds) + "," +
           std::to_string(max_fused) + "\n");
   std::cout << "CSV written to " << csv_path << "\n";
+  dp::bench::write_bench_json(
+      "service_throughput",
+      {{"clients", static_cast<double>(kClients)},
+       {"sequential_wall_seconds", sequential.wall_seconds},
+       {"concurrent_wall_seconds", concurrent.wall_seconds},
+       {"sequential_samples_per_sec", seq_rate},
+       {"concurrent_samples_per_sec", conc_rate},
+       {"ms_per_denoising_round", ms_per_round},
+       {"speedup_vs_sequential", speedup},
+       {"max_fused_slots", static_cast<double>(max_fused)},
+       {"bit_identical", identical ? 1.0 : 0.0}});
   return identical && speedup > 1.0 ? 0 : 1;
 }

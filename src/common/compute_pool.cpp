@@ -1,0 +1,205 @@
+#include "common/compute_pool.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <memory>
+
+#include "common/contracts.h"
+
+namespace diffpattern::common {
+
+namespace {
+
+/// True while this thread is executing a parallel-for body; nested regions
+/// (and regions racing on a busy pool) run inline instead of deadlocking.
+thread_local bool t_in_region = false;
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+std::int64_t hardware_thread_count() {
+  const auto hw = static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  return hw >= 1 ? hw : 1;  // The standard allows 0 ("unknown"); never spin
+                            // up a zero-thread pool because of it.
+}
+
+std::int64_t default_thread_count() {
+  if (const char* env = std::getenv("DIFFPATTERN_THREADS")) {
+    const std::string text(env);
+    std::int64_t value = 0;
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec == std::errc{} && end == text.data() + text.size() && value >= 1 &&
+        value <= kMaxComputeThreads) {
+      return value;
+    }
+    // Malformed or out-of-range: fall through to the hardware default
+    // rather than crashing a process over an env typo.
+  }
+  return hardware_thread_count();
+}
+
+Result<std::int64_t> resolve_thread_count(std::int64_t requested) {
+  if (requested == 0) {
+    return Status::InvalidArgument(
+        "thread count 0 is invalid: a zero-worker pool can never run its "
+        "queue (use a negative value for the auto default)");
+  }
+  if (requested > kMaxComputeThreads) {
+    return Status::InvalidArgument(
+        "thread count " + std::to_string(requested) + " exceeds the limit " +
+        std::to_string(kMaxComputeThreads));
+  }
+  return requested > 0 ? requested : default_thread_count();
+}
+
+ComputePool::ComputePool(std::int64_t threads) : threads_(threads) {
+  DP_REQUIRE(threads >= 1, "ComputePool: need at least one thread");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  try {
+    for (std::int64_t i = 0; i < threads - 1; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread-resource exhaustion mid-spawn: join what started (destroying a
+    // joinable std::thread would std::terminate) and let the error
+    // propagate as an exception the service layer converts to a Status.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& t : workers_) {
+      t.join();
+    }
+    throw;
+  }
+}
+
+ComputePool::~ComputePool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+}
+
+void ComputePool::work_on_job(std::unique_lock<std::mutex>& lock) {
+  Job* job = job_;
+  while (job->next < job->chunks) {
+    const auto c = job->next++;
+    const auto chunk_begin = job->begin + c * job->chunk;
+    const auto chunk_end = std::min(chunk_begin + job->chunk, job->end);
+    const auto body = job->body;
+    lock.unlock();
+    t_in_region = true;
+    (*body)(chunk_begin, chunk_end);
+    t_in_region = false;
+    lock.lock();
+    if (++job->done == job->chunks) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ComputePool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    wake_cv_.wait(lock, [&] {
+      return shutdown_ || (job_ != nullptr && epoch_ != seen_epoch &&
+                           job_->next < job_->chunks);
+    });
+    if (shutdown_) {
+      return;
+    }
+    seen_epoch = epoch_;
+    work_on_job(lock);
+  }
+}
+
+void ComputePool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  const auto range = end - begin;
+  if (range <= 0) {
+    return;
+  }
+  grain = std::max<std::int64_t>(1, grain);
+  if (threads_ == 1 || range <= grain || t_in_region) {
+    body(begin, end);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (job_ != nullptr) {
+    // Another thread's region is in flight; run inline rather than queueing
+    // (regions are rare enough that fairness is not worth the complexity).
+    lock.unlock();
+    body(begin, end);
+    return;
+  }
+  Job job;
+  job.body = &body;
+  job.begin = begin;
+  job.end = end;
+  // Over-decompose (4 chunks per thread, floored by grain) so dynamic chunk
+  // claiming load-balances uneven rows; chunk boundaries never affect
+  // results because bodies own disjoint output ranges.
+  const auto max_chunks = std::min(threads_ * 4, ceil_div(range, grain));
+  job.chunk = std::max(grain, ceil_div(range, max_chunks));
+  job.chunks = ceil_div(range, job.chunk);
+  job_ = &job;
+  ++epoch_;
+  wake_cv_.notify_all();
+  work_on_job(lock);
+  done_cv_.wait(lock, [&] { return job.done == job.chunks; });
+  job_ = nullptr;
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::shared_ptr<ComputePool> g_pool;  // NOLINT: intentional process lifetime.
+
+std::shared_ptr<ComputePool> locked_pool() {
+  if (g_pool == nullptr) {
+    g_pool = std::make_shared<ComputePool>(default_thread_count());
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+std::shared_ptr<ComputePool> global_compute_pool() {
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return locked_pool();
+}
+
+Status set_global_compute_threads(std::int64_t requested) {
+  auto resolved = resolve_thread_count(requested);
+  if (!resolved.ok()) {
+    return resolved.status();
+  }
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool != nullptr && g_pool->threads() == *resolved) {
+    return Status::Ok();
+  }
+  // Regions in flight hold their own shared_ptr (global_compute_pool), so
+  // the displaced pool finishes them and is destroyed by its last holder.
+  g_pool = std::make_shared<ComputePool>(*resolved);
+  return Status::Ok();
+}
+
+std::int64_t global_compute_threads() {
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return locked_pool()->threads();
+}
+
+}  // namespace diffpattern::common

@@ -1,0 +1,113 @@
+// Persistent compute thread pool for data-parallel numeric kernels.
+//
+// ComputePool runs parallel-for regions over a fixed set of worker threads;
+// the calling thread participates, so a pool of size T uses T cores. Work is
+// split into contiguous index chunks that tasks claim atomically — WHICH
+// thread runs a chunk is nondeterministic, but kernels built on top assign
+// whole output rows (or samples) to chunks and fix the per-element reduction
+// order, so results are byte-identical for any thread count (see
+// src/tensor/parallel.h for the determinism contract).
+//
+// Sizing: the process-wide pool defaults to DIFFPATTERN_THREADS (positive
+// integer) when set, else std::thread::hardware_concurrency(), else 1 when
+// the runtime reports 0 cores. Explicit sizing goes through
+// set_global_compute_threads (the CLI --threads flag and
+// ServiceConfig::compute_threads both land there); a requested size of 0 is
+// rejected with INVALID_ARGUMENT rather than silently spinning zero workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace diffpattern::common {
+
+/// std::thread::hardware_concurrency(), or 1 when the runtime reports 0.
+std::int64_t hardware_thread_count();
+
+/// Auto thread count: DIFFPATTERN_THREADS when set to a positive integer
+/// (malformed or non-positive values are ignored), else
+/// hardware_thread_count().
+std::int64_t default_thread_count();
+
+/// Upper bound on explicit pool sizes. Requests beyond this are almost
+/// certainly typos, and each worker costs a kernel thread + stack; sizes
+/// above it answer INVALID_ARGUMENT instead of exhausting thread resources.
+inline constexpr std::int64_t kMaxComputeThreads = 512;
+
+/// Maps a requested pool size onto an actual one: 1..kMaxComputeThreads is
+/// taken verbatim, < 0 means "auto" (default_thread_count), and 0 or an
+/// over-limit request is INVALID_ARGUMENT — a pool with zero workers can
+/// never make progress.
+Result<std::int64_t> resolve_thread_count(std::int64_t requested);
+
+class ComputePool {
+ public:
+  /// Total parallelism, including the calling thread; spawns threads - 1
+  /// workers. threads must be >= 1 (resolve_thread_count enforces this for
+  /// user-supplied sizes).
+  explicit ComputePool(std::int64_t threads);
+  ~ComputePool();
+  ComputePool(const ComputePool&) = delete;
+  ComputePool& operator=(const ComputePool&) = delete;
+
+  std::int64_t threads() const { return threads_; }
+
+  /// Runs body(chunk_begin, chunk_end) over a partition of [begin, end).
+  /// Chunks are contiguous, at least `grain` wide (except the last), and
+  /// disjoint; the caller blocks until every chunk has run. Bodies must
+  /// write disjoint output ranges and must not throw. Nested calls (from
+  /// inside a body) and calls racing on the same pool degrade to inline
+  /// serial execution, so the pool never deadlocks on itself.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+ private:
+  struct Job {
+    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t chunk = 0;
+    std::int64_t chunks = 0;
+    std::int64_t next = 0;  // Next unclaimed chunk (guarded by mutex_).
+    std::int64_t done = 0;  // Completed chunks (guarded by mutex_).
+  };
+
+  void worker_loop();
+  /// Claims and runs chunks of the current job until none remain.
+  void work_on_job(std::unique_lock<std::mutex>& lock);
+
+  const std::int64_t threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;  // Workers: new job or shutdown.
+  std::condition_variable done_cv_;  // Caller: job fully executed.
+  Job* job_ = nullptr;               // Non-null while a region is active.
+  std::uint64_t epoch_ = 0;          // Bumped per region; workers key off it.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Process-wide pool used by the tensor kernels. Lazily constructed at
+/// default_thread_count() on first use. Returned as a shared handle:
+/// callers (tensor::parallel_for) pin the pool for the duration of a
+/// region, so a concurrent resize can never destroy a pool that still has
+/// regions in flight — the displaced pool drains and dies with its last
+/// holder.
+std::shared_ptr<ComputePool> global_compute_pool();
+
+/// Resizes the process-wide pool. In-flight regions keep running on the
+/// displaced pool (see global_compute_pool); subsequent kernel calls use
+/// the new size. requested follows resolve_thread_count semantics: 0 is
+/// INVALID_ARGUMENT, < 0 re-applies the auto default.
+Status set_global_compute_threads(std::int64_t requested);
+
+/// Current size of the process-wide pool (constructs it if needed).
+std::int64_t global_compute_threads();
+
+}  // namespace diffpattern::common

@@ -4,6 +4,7 @@
 
 #include "common/contracts.h"
 #include "nn/ops.h"
+#include "tensor/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace diffpattern::diffusion {
@@ -230,15 +231,19 @@ Tensor sample_streams(unet::UNet& model, const BinarySchedule& schedule,
   const auto c = model.config().in_channels;
   Tensor x({batch, c, height, width});
   const auto per_sample = x.numel() / batch;
-  // Uniform stationary prior, one slot at a time so slot n consumes only
-  // streams[n].
-  for (std::int64_t n = 0; n < batch; ++n) {
-    float* slot = x.data() + n * per_sample;
-    for (std::int64_t i = 0; i < per_sample; ++i) {
-      slot[i] = streams[static_cast<std::size_t>(n)]->bernoulli(0.5) ? 1.0F
-                                                                     : 0.0F;
+  // Uniform stationary prior. Slot n consumes only streams[n], so slots are
+  // independent and fan out across the compute pool: each task owns whole
+  // slots, which keeps the draw order inside every stream fixed and the
+  // output byte-identical for any thread count.
+  tensor::parallel_for(0, batch, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t n = n0; n < n1; ++n) {
+      float* slot = x.data() + n * per_sample;
+      for (std::int64_t i = 0; i < per_sample; ++i) {
+        slot[i] = streams[static_cast<std::size_t>(n)]->bernoulli(0.5) ? 1.0F
+                                                                       : 0.0F;
+      }
     }
-  }
+  });
 
   // The forward pass never draws randomness at inference (dropout is
   // identity when training == false), so a throwaway engine keeps the
@@ -249,26 +254,31 @@ Tensor sample_streams(unet::UNet& model, const BinarySchedule& schedule,
     Var logits = model.forward(x, ks, /*training=*/false, forward_rng);
     const Tensor p0 = unet::logits_to_prob1(logits, c).value();
     const auto coeffs = posterior_coeffs(schedule, k);
-    for (std::int64_t n = 0; n < batch; ++n) {
-      common::Rng& rng = *streams[static_cast<std::size_t>(n)];
-      float* slot = x.data() + n * per_sample;
-      const float* p0_slot = p0.data() + n * per_sample;
-      if (k == 1) {
-        for (std::int64_t i = 0; i < per_sample; ++i) {
-          const double p = p0_slot[i];
-          const bool one = config.final_argmax ? p >= 0.5 : rng.bernoulli(p);
-          slot[i] = one ? 1.0F : 0.0F;
-        }
-      } else {
-        for (std::int64_t i = 0; i < per_sample; ++i) {
-          const int xkv = slot[i] != 0.0F ? 1 : 0;
-          const double a = xkv == 1 ? coeffs.a1 : coeffs.a0;
-          const double b = xkv == 1 ? coeffs.b1 : coeffs.b0;
-          const double p1 = a * p0_slot[i] + b * (1.0 - p0_slot[i]);
-          slot[i] = rng.bernoulli(p1) ? 1.0F : 0.0F;
+    // Per-slot reverse transitions, parallel across slots (see the prior
+    // init above for why this preserves bit-reproducibility).
+    tensor::parallel_for(0, batch, [&](std::int64_t n0, std::int64_t n1) {
+      for (std::int64_t n = n0; n < n1; ++n) {
+        common::Rng& rng = *streams[static_cast<std::size_t>(n)];
+        float* slot = x.data() + n * per_sample;
+        const float* p0_slot = p0.data() + n * per_sample;
+        if (k == 1) {
+          for (std::int64_t i = 0; i < per_sample; ++i) {
+            const double p = p0_slot[i];
+            const bool one =
+                config.final_argmax ? p >= 0.5 : rng.bernoulli(p);
+            slot[i] = one ? 1.0F : 0.0F;
+          }
+        } else {
+          for (std::int64_t i = 0; i < per_sample; ++i) {
+            const int xkv = slot[i] != 0.0F ? 1 : 0;
+            const double a = xkv == 1 ? coeffs.a1 : coeffs.a0;
+            const double b = xkv == 1 ? coeffs.b1 : coeffs.b0;
+            const double p1 = a * p0_slot[i] + b * (1.0 - p0_slot[i]);
+            slot[i] = rng.bernoulli(p1) ? 1.0F : 0.0F;
+          }
         }
       }
-    }
+    });
   }
   require_binary(x, "sample_streams output");
   return x;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/contracts.h"
+#include "tensor/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace diffpattern::nn {
@@ -12,6 +13,7 @@ namespace {
 
 using detail::accumulate_grad;
 using detail::make_op_node;
+using tensor::parallel_elements;
 
 void require_same_shape(const Var& a, const Var& b, const char* op) {
   DP_REQUIRE(a.value().same_shape(b.value()),
@@ -21,9 +23,12 @@ void require_same_shape(const Var& a, const Var& b, const char* op) {
 
 Tensor map_unary(const Tensor& x, float (*f)(float)) {
   Tensor out = x;
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    out[i] = f(out[i]);
-  }
+  float* po = out.data();
+  parallel_elements(out.numel(), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      po[i] = f(po[i]);
+    }
+  });
   return out;
 }
 
@@ -116,9 +121,12 @@ Var add_const(const Var& a, const Tensor& c) {
 
 Var relu(const Var& a) {
   Tensor out = a.value();
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    out[i] = out[i] > 0.0F ? out[i] : 0.0F;
-  }
+  float* po = out.data();
+  parallel_elements(out.numel(), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      po[i] = po[i] > 0.0F ? po[i] : 0.0F;
+    }
+  });
   auto pa = a.node();
   Tensor x = a.value();
   return make_op_node(std::move(out), {a},
@@ -152,23 +160,31 @@ Var silu(const Var& a) {
   const Tensor& x = a.value();
   Tensor out = x;
   Tensor s(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    const float v = x[i];
-    const float sig = v >= 0.0F ? 1.0F / (1.0F + std::exp(-v))
-                                : std::exp(v) / (1.0F + std::exp(v));
-    s[i] = sig;
-    out[i] = v * sig;
-  }
+  float* po = out.data();
+  float* ps = s.data();
+  const float* px = x.data();
+  parallel_elements(x.numel(), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float v = px[i];
+      const float sig = v >= 0.0F ? 1.0F / (1.0F + std::exp(-v))
+                                  : std::exp(v) / (1.0F + std::exp(v));
+      ps[i] = sig;
+      po[i] = v * sig;
+    }
+  });
   auto pa = a.node();
   Tensor xc = x;
   return make_op_node(
       std::move(out), {a},
       [pa, xc = std::move(xc), s = std::move(s)](const Tensor& g) {
         Tensor d = g;
-        for (std::int64_t i = 0; i < d.numel(); ++i) {
-          const float sig = s[i];
-          d[i] *= sig * (1.0F + xc[i] * (1.0F - sig));
-        }
+        float* pd = d.data();
+        parallel_elements(d.numel(), [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const float sig = s[i];
+            pd[i] *= sig * (1.0F + xc[i] * (1.0F - sig));
+          }
+        });
         accumulate_grad(*pa, d);
       });
 }
@@ -179,11 +195,14 @@ Var gelu(const Var& a) {
   constexpr float kA = 0.044715F;
   const Tensor& x = a.value();
   Tensor out = x;
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    const float v = x[i];
-    const float t = std::tanh(kC * (v + kA * v * v * v));
-    out[i] = 0.5F * v * (1.0F + t);
-  }
+  float* po = out.data();
+  parallel_elements(x.numel(), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float v = po[i];
+      const float t = std::tanh(kC * (v + kA * v * v * v));
+      po[i] = 0.5F * v * (1.0F + t);
+    }
+  });
   auto pa = a.node();
   Tensor xc = x;
   return make_op_node(std::move(out), {a},
@@ -418,13 +437,19 @@ Var add_spatial_broadcast(const Var& x, const Var& bias_nc) {
   const auto c = v.dim(1);
   const auto plane = v.dim(2) * v.dim(3);
   Tensor out = v;
-  for (std::int64_t i = 0; i < n * c; ++i) {
-    float* dst = out.data() + i * plane;
-    const float bias = b[i];
-    for (std::int64_t p = 0; p < plane; ++p) {
-      dst[p] += bias;
-    }
-  }
+  tensor::parallel_for(
+      0, n * c,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* dst = out.data() + i * plane;
+          const float bias = b[i];
+          for (std::int64_t p = 0; p < plane; ++p) {
+            dst[p] += bias;
+          }
+        }
+      },
+      std::max<std::int64_t>(1, tensor::kElementwiseGrain /
+                                    std::max<std::int64_t>(1, plane)));
   auto px = x.node();
   auto pb = bias_nc.node();
   return make_op_node(std::move(out), {x, bias_nc},
@@ -490,10 +515,15 @@ Var bmm(const Var& a, const Var& b) {
   const auto m = va.dim(1);
   const auto n = vb.dim(2);
   Tensor out({batch, m, n});
-  for (std::int64_t i = 0; i < batch; ++i) {
-    Tensor ci = tensor::matmul(slice_batch(va, i), slice_batch(vb, i));
-    std::copy(ci.data(), ci.data() + m * n, out.data() + i * m * n);
-  }
+  // One independent GEMM per batch slice; the slice GEMMs run inline inside
+  // the per-slice tasks (nested regions serialize), so parallelism comes
+  // from the batch axis — the natural grain for the attention scores.
+  tensor::parallel_for(0, batch, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t i = b0; i < b1; ++i) {
+      Tensor ci = tensor::matmul(slice_batch(va, i), slice_batch(vb, i));
+      std::copy(ci.data(), ci.data() + m * n, out.data() + i * m * n);
+    }
+  });
   auto pa = a.node();
   auto pb = b.node();
   Tensor av = va;
@@ -505,24 +535,30 @@ Var bmm(const Var& a, const Var& b) {
         const auto k = av.dim(2);
         if (pa->requires_grad) {
           Tensor ga(av.shape());
-          for (std::int64_t i = 0; i < batch; ++i) {
-            Tensor gi({m, n});
-            std::copy(g.data() + i * m * n, g.data() + (i + 1) * m * n,
-                      gi.data());
-            Tensor d = tensor::matmul_transpose_b(gi, slice_batch(bv, i));
-            std::copy(d.data(), d.data() + m * k, ga.data() + i * m * k);
-          }
+          tensor::parallel_for(0, batch, [&](std::int64_t b0,
+                                             std::int64_t b1) {
+            for (std::int64_t i = b0; i < b1; ++i) {
+              Tensor gi({m, n});
+              std::copy(g.data() + i * m * n, g.data() + (i + 1) * m * n,
+                        gi.data());
+              Tensor d = tensor::matmul_transpose_b(gi, slice_batch(bv, i));
+              std::copy(d.data(), d.data() + m * k, ga.data() + i * m * k);
+            }
+          });
           accumulate_grad(*pa, ga);
         }
         if (pb->requires_grad) {
           Tensor gb(bv.shape());
-          for (std::int64_t i = 0; i < batch; ++i) {
-            Tensor gi({m, n});
-            std::copy(g.data() + i * m * n, g.data() + (i + 1) * m * n,
-                      gi.data());
-            Tensor d = tensor::matmul_transpose_a(slice_batch(av, i), gi);
-            std::copy(d.data(), d.data() + k * n, gb.data() + i * k * n);
-          }
+          tensor::parallel_for(0, batch, [&](std::int64_t b0,
+                                             std::int64_t b1) {
+            for (std::int64_t i = b0; i < b1; ++i) {
+              Tensor gi({m, n});
+              std::copy(g.data() + i * m * n, g.data() + (i + 1) * m * n,
+                        gi.data());
+              Tensor d = tensor::matmul_transpose_a(slice_batch(av, i), gi);
+              std::copy(d.data(), d.data() + k * n, gb.data() + i * k * n);
+            }
+          });
           accumulate_grad(*pb, gb);
         }
       });
@@ -600,72 +636,98 @@ Var conv2d(const Var& x, const Var& w, const Var& b, std::int64_t stride,
   const auto ow = geom.out_w();
   DP_REQUIRE(oh > 0 && ow > 0, "conv2d: output would be empty");
 
+  const auto n_out = oh * ow;
+  const auto ncols = batch * n_out;
   const Tensor w2d = vw.reshaped({out_ch, geom.patch_size()});
+
+  // Batch-wide convolution: ONE im2col over the whole [N,C,H,W] batch into
+  // [C*kh*kw, N*OH*OW] columns and a single GEMM against the flattened
+  // weight — per-sample column blocks are bitwise what per-sample im2col
+  // produces and each output element accumulates in the same k-ascending
+  // order, so fused batches stay bit-equal to batch-1 runs. At inference
+  // (NoGradGuard: the backward closure below is dropped) the unroll and GEMM
+  // buffers are thread-local scratch reused across calls — one allocation
+  // for a whole denoising chain instead of one per conv per round. Under
+  // autograd the columns must outlive the forward (the weight-grad GEMM
+  // consumes them), so they are freshly allocated and moved into the
+  // closure.
+  static thread_local Tensor t_cols_scratch;
+  static thread_local Tensor t_gemm_scratch;
+  const bool inference = NoGradGuard::active();
+  Tensor cols_owned;
+  Tensor& cols = inference ? t_cols_scratch : cols_owned;
+  tensor::im2col_batch_into(vx, geom, cols);
+  Tensor y_owned;
+  Tensor& y = inference ? t_gemm_scratch : y_owned;
+  y.resize({out_ch, ncols});
+  tensor::matmul_into(w2d, cols, y);  // [O, N*OH*OW]
+
+  // Scatter to [N, O, OH, OW] with the bias folded in.
   Tensor out({batch, out_ch, oh, ow});
-  std::vector<Tensor> cols_cache;
-  cols_cache.reserve(static_cast<std::size_t>(batch));
-  for (std::int64_t i = 0; i < batch; ++i) {
-    Tensor image({geom.in_channels, geom.in_h, geom.in_w});
-    std::copy(vx.data() + i * image.numel(),
-              vx.data() + (i + 1) * image.numel(), image.data());
-    Tensor cols = tensor::im2col(image, geom);
-    Tensor y = tensor::matmul(w2d, cols);  // [O, OH*OW]
-    float* dst = out.data() + i * out_ch * oh * ow;
-    for (std::int64_t o = 0; o < out_ch; ++o) {
-      const float* src = y.data() + o * oh * ow;
-      const float bias = vb[o];
-      for (std::int64_t p = 0; p < oh * ow; ++p) {
-        dst[o * oh * ow + p] = src[p] + bias;
-      }
-    }
-    cols_cache.push_back(std::move(cols));
-  }
+  float* po = out.data();
+  const float* py = y.data();
+  const float* pbias = vb.data();
+  tensor::parallel_for(
+      0, batch * out_ch,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t idx = p0; idx < p1; ++idx) {
+          const auto n = idx / out_ch;
+          const auto o = idx % out_ch;
+          const float* src = py + o * ncols + n * n_out;
+          float* dst = po + idx * n_out;
+          const float bias = pbias[o];
+          for (std::int64_t p = 0; p < n_out; ++p) {
+            dst[p] = src[p] + bias;
+          }
+        }
+      },
+      std::max<std::int64_t>(1, tensor::kElementwiseGrain / n_out));
+
   auto px = x.node();
   auto pw = w.node();
   auto pb = b.node();
   return make_op_node(
       std::move(out), {x, w, b},
       [px, pw, pb, w2d, geom, batch, out_ch, oh, ow,
-       cols_cache = std::move(cols_cache)](const Tensor& g) {
+       cols = std::move(cols_owned)](const Tensor& g) {
         const auto n_out = oh * ow;
-        Tensor gw2d({out_ch, geom.patch_size()}, 0.0F);
-        Tensor gb({out_ch}, 0.0F);
-        Tensor gx;
-        if (px->requires_grad) {
-          gx = Tensor({batch, geom.in_channels, geom.in_h, geom.in_w}, 0.0F);
-        }
-        for (std::int64_t i = 0; i < batch; ++i) {
-          Tensor gy({out_ch, n_out});
-          std::copy(g.data() + i * out_ch * n_out,
-                    g.data() + (i + 1) * out_ch * n_out, gy.data());
-          if (pb->requires_grad) {
-            for (std::int64_t o = 0; o < out_ch; ++o) {
-              const float* row = gy.data() + o * n_out;
-              for (std::int64_t p = 0; p < n_out; ++p) {
-                gb[o] += row[p];
-              }
+        const auto ncols = batch * n_out;
+        // Gather g [N,O,OH,OW] into the GEMM layout [O, N*OH*OW] once; the
+        // bias, weight, and input gradients all read it.
+        Tensor gy2d({out_ch, ncols});
+        const float* pg = g.data();
+        float* pgy = gy2d.data();
+        tensor::parallel_for(0, out_ch, [&](std::int64_t o0, std::int64_t o1) {
+          for (std::int64_t o = o0; o < o1; ++o) {
+            for (std::int64_t n = 0; n < batch; ++n) {
+              const float* src = pg + (n * out_ch + o) * n_out;
+              std::copy(src, src + n_out, pgy + o * ncols + n * n_out);
             }
           }
-          if (pw->requires_grad) {
-            // gW2d += gy * cols^T
-            Tensor contrib = tensor::matmul_transpose_b(gy, cols_cache[
-                static_cast<std::size_t>(i)]);
-            for (std::int64_t j = 0; j < gw2d.numel(); ++j) {
-              gw2d[j] += contrib[j];
-            }
-          }
-          if (px->requires_grad) {
-            Tensor gcols = tensor::matmul_transpose_a(w2d, gy);
-            Tensor gimage = tensor::col2im(gcols, geom);
-            std::copy(gimage.data(), gimage.data() + gimage.numel(),
-                      gx.data() + i * gimage.numel());
-          }
+        });
+        if (pb->requires_grad) {
+          Tensor gb({out_ch}, 0.0F);
+          float* pgb = gb.data();
+          tensor::parallel_for(
+              0, out_ch, [&](std::int64_t o0, std::int64_t o1) {
+                for (std::int64_t o = o0; o < o1; ++o) {
+                  const float* row = pgy + o * ncols;
+                  for (std::int64_t p = 0; p < ncols; ++p) {
+                    pgb[o] += row[p];
+                  }
+                }
+              });
+          accumulate_grad(*pb, gb);
         }
-        if (px->requires_grad) accumulate_grad(*px, gx);
         if (pw->requires_grad) {
+          // gW2d = gy2d * cols^T over the whole batch in one GEMM.
+          Tensor gw2d = tensor::matmul_transpose_b(gy2d, cols);
           accumulate_grad(*pw, gw2d.reshaped(pw->value.shape()));
         }
-        if (pb->requires_grad) accumulate_grad(*pb, gb);
+        if (px->requires_grad) {
+          Tensor gcols = tensor::matmul_transpose_a(w2d, gy2d);
+          accumulate_grad(*px, tensor::col2im_batch(gcols, geom, batch));
+        }
       });
 }
 
@@ -694,8 +756,13 @@ Var group_norm(const Var& x, const Var& gamma, const Var& beta,
   Tensor out(v.shape());
   const float* gam = gamma.value().data();
   const float* bet = beta.value().data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t g = 0; g < groups; ++g) {
+  // One task per (sample, group): the mean/variance reductions stay
+  // sequential (double accumulation, fixed order) inside each group, so the
+  // output is byte-identical for any thread count.
+  tensor::parallel_for(0, n * groups, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const auto i = t / groups;
+      const auto g = t % groups;
       const float* src = v.data() + (i * c + g * cg) * plane;
       double mean = 0.0;
       for (std::int64_t e = 0; e < group_elems; ++e) {
@@ -722,7 +789,7 @@ Var group_norm(const Var& x, const Var& gamma, const Var& beta,
         }
       }
     }
-  }
+  });
 
   auto px = x.node();
   auto pg = gamma.node();
@@ -736,23 +803,30 @@ Var group_norm(const Var& x, const Var& gamma, const Var& beta,
         if (pg->requires_grad || pb->requires_grad) {
           Tensor ggam({c}, 0.0F);
           Tensor gbet({c}, 0.0F);
-          for (std::int64_t i = 0; i < n; ++i) {
-            for (std::int64_t ch = 0; ch < c; ++ch) {
-              const float* grow = g.data() + (i * c + ch) * plane;
-              const float* xrow = xhat.data() + (i * c + ch) * plane;
-              for (std::int64_t p = 0; p < plane; ++p) {
-                ggam[ch] += grow[p] * xrow[p];
-                gbet[ch] += grow[p];
+          // Parallel over channels; each channel's sample-major accumulation
+          // order matches the sequential loop exactly.
+          tensor::parallel_for(0, c, [&](std::int64_t c0, std::int64_t c1) {
+            for (std::int64_t ch = c0; ch < c1; ++ch) {
+              for (std::int64_t i = 0; i < n; ++i) {
+                const float* grow = g.data() + (i * c + ch) * plane;
+                const float* xrow = xhat.data() + (i * c + ch) * plane;
+                for (std::int64_t p = 0; p < plane; ++p) {
+                  ggam[ch] += grow[p] * xrow[p];
+                  gbet[ch] += grow[p];
+                }
               }
             }
-          }
+          });
           if (pg->requires_grad) accumulate_grad(*pg, ggam);
           if (pb->requires_grad) accumulate_grad(*pb, gbet);
         }
         if (px->requires_grad) {
           Tensor gx(xhat.shape());
-          for (std::int64_t i = 0; i < n; ++i) {
-            for (std::int64_t gr = 0; gr < groups; ++gr) {
+          tensor::parallel_for(0, n * groups, [&](std::int64_t t0,
+                                                  std::int64_t t1) {
+            for (std::int64_t t = t0; t < t1; ++t) {
+              const auto i = t / groups;
+              const auto gr = t % groups;
               const auto base = (i * c + gr * cg) * plane;
               const float* grow = g.data() + base;
               const float* xrow = xhat.data() + base;
@@ -784,7 +858,7 @@ Var group_norm(const Var& x, const Var& gamma, const Var& beta,
                 }
               }
             }
-          }
+          });
           accumulate_grad(*px, gx);
         }
       });
@@ -804,29 +878,36 @@ Var layer_norm(const Var& x, const Var& gamma, const Var& beta, float eps) {
   Tensor out(v.shape());
   const float* gam = gamma.value().data();
   const float* bet = beta.value().data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* src = v.data() + r * f;
-    double mean = 0.0;
-    for (std::int64_t j = 0; j < f; ++j) {
-      mean += src[j];
-    }
-    mean /= static_cast<double>(f);
-    double var = 0.0;
-    for (std::int64_t j = 0; j < f; ++j) {
-      const double d = src[j] - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(f);
-    const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
-    inv_std[r] = istd;
-    float* xh = xhat.data() + r * f;
-    float* dst = out.data() + r * f;
-    for (std::int64_t j = 0; j < f; ++j) {
-      const float xn = (src[j] - static_cast<float>(mean)) * istd;
-      xh[j] = xn;
-      dst[j] = xn * gam[j] + bet[j];
-    }
-  }
+  // Row-parallel; each row's reductions run sequentially inside one task.
+  tensor::parallel_for(
+      0, rows,
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* src = v.data() + r * f;
+          double mean = 0.0;
+          for (std::int64_t j = 0; j < f; ++j) {
+            mean += src[j];
+          }
+          mean /= static_cast<double>(f);
+          double var = 0.0;
+          for (std::int64_t j = 0; j < f; ++j) {
+            const double d = src[j] - mean;
+            var += d * d;
+          }
+          var /= static_cast<double>(f);
+          const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+          inv_std[r] = istd;
+          float* xh = xhat.data() + r * f;
+          float* dst = out.data() + r * f;
+          for (std::int64_t j = 0; j < f; ++j) {
+            const float xn = (src[j] - static_cast<float>(mean)) * istd;
+            xh[j] = xn;
+            dst[j] = xn * gam[j] + bet[j];
+          }
+        }
+      },
+      std::max<std::int64_t>(1, tensor::kElementwiseGrain /
+                                    std::max<std::int64_t>(1, f)));
   auto px = x.node();
   auto pg = gamma.node();
   auto pb = beta.node();
@@ -891,18 +972,24 @@ Var softmax_last(const Var& a) {
       std::move(out), {a},
       [pa, y = std::move(y), rows, f](const Tensor& g) {
         Tensor d(y.shape());
-        for (std::int64_t r = 0; r < rows; ++r) {
-          const float* grow = g.data() + r * f;
-          const float* yrow = y.data() + r * f;
-          double dot = 0.0;
-          for (std::int64_t j = 0; j < f; ++j) {
-            dot += grow[j] * yrow[j];
-          }
-          float* drow = d.data() + r * f;
-          for (std::int64_t j = 0; j < f; ++j) {
-            drow[j] = yrow[j] * (grow[j] - static_cast<float>(dot));
-          }
-        }
+        tensor::parallel_for(
+            0, rows,
+            [&](std::int64_t r0, std::int64_t r1) {
+              for (std::int64_t r = r0; r < r1; ++r) {
+                const float* grow = g.data() + r * f;
+                const float* yrow = y.data() + r * f;
+                double dot = 0.0;
+                for (std::int64_t j = 0; j < f; ++j) {
+                  dot += grow[j] * yrow[j];
+                }
+                float* drow = d.data() + r * f;
+                for (std::int64_t j = 0; j < f; ++j) {
+                  drow[j] = yrow[j] * (grow[j] - static_cast<float>(dot));
+                }
+              }
+            },
+            std::max<std::int64_t>(1, tensor::kElementwiseGrain /
+                                          std::max<std::int64_t>(1, f)));
         accumulate_grad(*pa, d);
       });
 }

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/compute_pool.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "diffusion/diffusion.h"
@@ -69,8 +70,39 @@ struct LegalizeSlot {
 }  // namespace
 
 struct PatternService::Impl {
+  static common::Status check_config(const ServiceConfig& cfg) {
+    if (cfg.legalize_workers == 0) {
+      return common::Status::InvalidArgument(
+          "ServiceConfig.legalize_workers is 0: a zero-worker pool can "
+          "never run legalization (use a negative value for the hardware "
+          "default)");
+    }
+    if (cfg.compute_threads == 0) {
+      return common::Status::InvalidArgument(
+          "ServiceConfig.compute_threads is 0: the sampling kernels need at "
+          "least one thread (use a negative value to keep the ambient pool "
+          "size)");
+    }
+    return common::Status::Ok();
+  }
+
+  static std::int64_t worker_count(const ServiceConfig& cfg) {
+    // Invalid (0) configs still construct the pool — with one thread, so
+    // the object is well-formed — but config_error gates every request.
+    if (cfg.legalize_workers == 0) {
+      return 1;
+    }
+    return cfg.legalize_workers > 0 ? cfg.legalize_workers
+                                    : WorkerPool::default_size();
+  }
+
   explicit Impl(ServiceConfig cfg)
-      : config(cfg), workers(std::max<std::int64_t>(1, cfg.legalize_workers)) {
+      : config(cfg),
+        config_error(check_config(cfg)),
+        workers(worker_count(cfg)) {
+    if (config_error.ok() && cfg.compute_threads > 0) {
+      config_error = common::set_global_compute_threads(cfg.compute_threads);
+    }
     rule_sets["normal"] = drc::standard_rules();
     rule_sets["space"] = drc::larger_space_rules();
     rule_sets["area"] = drc::smaller_area_rules();
@@ -98,6 +130,9 @@ struct PatternService::Impl {
   void run_round(std::unique_lock<std::mutex>& lock);
 
   ServiceConfig config;
+  /// Non-OK when the config was rejected (e.g. a zero-sized pool): every
+  /// request returns this instead of executing.
+  common::Status config_error;
   ModelRegistry registry;
 
   mutable std::mutex rules_mutex;
@@ -476,6 +511,9 @@ common::Status validate_common(const PatternService& service,
 
 common::Status PatternService::validate(
     const GenerateRequest& request) const {
+  if (!impl_->config_error.ok()) {
+    return impl_->config_error;
+  }
   return validate_common(*this, impl_->config, impl_->registry, request.model,
                          request.count, request.geometries_per_topology,
                          request.rule_set);
@@ -512,6 +550,9 @@ common::Result<GenerateResult> PatternService::generate(
 
 common::Result<SampleTopologiesResult> PatternService::sample_topologies(
     const SampleTopologiesRequest& request) {
+  if (!impl_->config_error.ok()) {
+    return impl_->config_error;
+  }
   const auto valid =
       validate_common(*this, impl_->config, impl_->registry, request.model,
                       request.count, /*geometries=*/1, /*rule_set=*/"");
@@ -535,6 +576,9 @@ common::Result<SampleTopologiesResult> PatternService::sample_topologies(
 
 common::Result<GenerateResult> PatternService::legalize_topologies(
     const LegalizeTopologiesRequest& request) {
+  if (!impl_->config_error.ok()) {
+    return impl_->config_error;
+  }
   if (request.topologies.empty()) {
     return common::Status::InvalidArgument(
         "legalize_topologies: no topologies supplied");

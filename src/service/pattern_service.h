@@ -37,8 +37,19 @@
 namespace diffpattern::service {
 
 struct ServiceConfig {
-  /// Threads in the legalization worker pool.
+  /// Threads in the legalization worker pool. Negative = auto (hardware
+  /// concurrency, falling back to 1 when the runtime reports 0 cores). A
+  /// value of 0 is rejected: construction succeeds, but every request
+  /// answers INVALID_ARGUMENT — a zero-worker pool could never drain its
+  /// queue, and failing typed is the service contract.
   std::int64_t legalize_workers = 4;
+  /// Size of the process-wide tensor compute pool that the U-Net kernels
+  /// (reverse-diffusion hot path) fan out over. Negative = leave the pool
+  /// at its ambient size (DIFFPATTERN_THREADS env, else hardware
+  /// concurrency); positive values resize it at construction. 0 is
+  /// rejected like legalize_workers. Note the pool is shared by every
+  /// service in the process — the last explicit sizing wins.
+  std::int64_t compute_threads = -1;
   /// Upper bound on sampling slots fused into one reverse-diffusion batch
   /// (bounds peak activation memory; larger requests run in chunks).
   std::int64_t max_fused_batch = 64;

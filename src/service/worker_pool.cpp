@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "common/compute_pool.h"
 #include "common/contracts.h"
 
 namespace diffpattern::service {
+
+std::int64_t WorkerPool::default_size() {
+  return common::hardware_thread_count();
+}
 
 WorkerPool::WorkerPool(std::int64_t threads) {
   DP_REQUIRE(threads >= 1, "WorkerPool: need at least one thread");

@@ -17,6 +17,11 @@ namespace diffpattern::service {
 
 class WorkerPool {
  public:
+  /// Pool size when the caller asks for "auto": hardware_concurrency, or 1
+  /// when the runtime reports 0 cores — a zero-thread pool would accept
+  /// tasks and never run them.
+  static std::int64_t default_size();
+
   explicit WorkerPool(std::int64_t threads);
   ~WorkerPool();
   WorkerPool(const WorkerPool&) = delete;

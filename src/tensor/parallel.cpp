@@ -1,0 +1,30 @@
+#include "tensor/parallel.h"
+
+#include "common/compute_pool.h"
+
+namespace diffpattern::tensor {
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  std::int64_t grain) {
+  if (end <= begin) {
+    return;
+  }
+  // Below-grain ranges run inline without touching the global pool: small
+  // elementwise ops on the hot path skip the pool-handle mutex entirely.
+  if (end - begin <= grain) {
+    body(begin, end);
+    return;
+  }
+  // The shared handle pins the pool for the whole region, so a concurrent
+  // set_global_compute_threads cannot destroy it underneath us.
+  common::global_compute_pool()->parallel_for(begin, end, grain, body);
+}
+
+void parallel_elements(
+    std::int64_t n,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  parallel_for(0, n, body, kElementwiseGrain);
+}
+
+}  // namespace diffpattern::tensor

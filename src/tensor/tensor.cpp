@@ -110,6 +110,12 @@ void Tensor::fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+void Tensor::resize(Shape shape) {
+  const auto n = shape_numel(shape);
+  shape_ = std::move(shape);
+  data_.resize(static_cast<std::size_t>(n));
+}
+
 std::string Tensor::shape_string() const {
   return shape_to_string(shape_);
 }

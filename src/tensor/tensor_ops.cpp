@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "tensor/parallel.h"
 
 namespace diffpattern::tensor {
 
@@ -14,7 +15,46 @@ void require_matrix(const Tensor& t, const char* name) {
                                 t.shape_string());
 }
 
+/// Column-tile width for the (i, k, j) GEMM kernels: the output row tile
+/// stays hot in L1 while a K-panel of B streams through. Tiling only
+/// reorders WHICH elements are touched when — each element's k-ascending
+/// accumulation order is unchanged, so results stay bit-equal to the
+/// reference kernels.
+constexpr std::int64_t kColumnTile = 512;
+
+/// Minimum multiply-accumulates per parallel chunk; rows are cheap enough
+/// below this that pool dispatch dominates.
+constexpr std::int64_t kGemmGrainFlops = 32 * 1024;
+
+std::int64_t row_grain(std::int64_t flops_per_row) {
+  return std::max<std::int64_t>(1,
+                                kGemmGrainFlops / std::max<std::int64_t>(
+                                                      1, flops_per_row));
+}
+
+/// One output row of C += A * B: crow[j] += arow[k] * b[k][j], k ascending
+/// per element, skipping zero A entries (binary topologies make A sparse on
+/// several hot paths; adding exact zeros is a no-op for finite values).
+void gemm_row(const float* arow, const float* pb, float* crow, std::int64_t k,
+              std::int64_t n) {
+  for (std::int64_t j0 = 0; j0 < n; j0 += kColumnTile) {
+    const auto j1 = std::min(n, j0 + kColumnTile);
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0F) {
+        continue;
+      }
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = j0; j < j1; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
 }  // namespace
+
+// ---- GEMM family (blocked, row-parallel) ----------------------------------
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   require_matrix(a, "matmul(a)");
@@ -29,12 +69,349 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  require_matrix(a, "matmul_into(a)");
+  require_matrix(b, "matmul_into(b)");
+  DP_REQUIRE(a.dim(1) == b.dim(0), "matmul_into: inner dimension mismatch " +
+                                       a.shape_string() + " x " +
+                                       b.shape_string());
+  DP_REQUIRE(out.rank() == 2 && out.dim(0) == a.dim(0) &&
+                 out.dim(1) == b.dim(1),
+             "matmul_into: bad output shape " + out.shape_string());
+  out.fill(0.0F);
+  matmul_accumulate(a, b, out);
+}
+
 void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   const auto m = a.dim(0);
   const auto k = a.dim(1);
   const auto n = b.dim(1);
   DP_REQUIRE(out.dim(0) == m && out.dim(1) == n,
              "matmul_accumulate: bad output shape");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  parallel_for(
+      0, m,
+      [&](std::int64_t row_begin, std::int64_t row_end) {
+        for (std::int64_t i = row_begin; i < row_end; ++i) {
+          gemm_row(pa + i * k, pb, pc + i * n, k, n);
+        }
+      },
+      row_grain(k * n));
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul_transpose_a(a)");
+  require_matrix(b, "matmul_transpose_a(b)");
+  const auto m = a.dim(0);
+  const auto k = a.dim(1);
+  DP_REQUIRE(b.dim(0) == m, "matmul_transpose_a: row mismatch");
+  const auto n = b.dim(1);
+  Tensor out({k, n}, 0.0F);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  // Each task owns whole output rows (a column of A); the per-element
+  // accumulation order over i matches the reference kernel exactly.
+  parallel_for(
+      0, k,
+      [&](std::int64_t row_begin, std::int64_t row_end) {
+        for (std::int64_t kk = row_begin; kk < row_end; ++kk) {
+          float* crow = pc + kk * n;
+          for (std::int64_t i = 0; i < m; ++i) {
+            const float av = pa[i * k + kk];
+            if (av == 0.0F) {
+              continue;
+            }
+            const float* brow = pb + i * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      },
+      row_grain(m * n));
+  return out;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul_transpose_b(a)");
+  require_matrix(b, "matmul_transpose_b(b)");
+  const auto m = a.dim(0);
+  const auto n = a.dim(1);
+  DP_REQUIRE(b.dim(1) == n, "matmul_transpose_b: column mismatch");
+  const auto k = b.dim(0);
+  Tensor out({m, k}, 0.0F);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  parallel_for(
+      0, m,
+      [&](std::int64_t row_begin, std::int64_t row_end) {
+        for (std::int64_t i = row_begin; i < row_end; ++i) {
+          const float* arow = pa + i * n;
+          float* crow = pc + i * k;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float* brow = pb + kk * n;
+            float acc = 0.0F;
+            for (std::int64_t j = 0; j < n; ++j) {
+              acc += arow[j] * brow[j];
+            }
+            crow[kk] = acc;
+          }
+        }
+      },
+      row_grain(k * n));
+  return out;
+}
+
+// ---- im2col / col2im ------------------------------------------------------
+
+namespace {
+
+/// Unrolls sample `image` into the column block starting at column `col0`
+/// of `cols` (row stride `ncols`), overwriting the whole block. The block's
+/// contents are independent of the other samples, so batch unrolls can run
+/// one sample per task.
+void im2col_block(const float* src, const Conv2dGeometry& geom, float* dst,
+                  std::int64_t col0, std::int64_t ncols) {
+  const auto oh = geom.out_h();
+  const auto ow = geom.out_w();
+  const auto n_out = oh * ow;
+  for (std::int64_t c = 0; c < geom.in_channels; ++c) {
+    for (std::int64_t ky = 0; ky < geom.kernel_h; ++ky) {
+      for (std::int64_t kx = 0; kx < geom.kernel_w; ++kx) {
+        const auto row = (c * geom.kernel_h + ky) * geom.kernel_w + kx;
+        float* drow = dst + row * ncols + col0;
+        std::fill(drow, drow + n_out, 0.0F);  // Padding contributes zeros.
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const auto iy = oy * geom.stride - geom.padding + ky;
+          if (iy < 0 || iy >= geom.in_h) {
+            continue;
+          }
+          const float* srow = src + (c * geom.in_h + iy) * geom.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const auto ix = ox * geom.stride - geom.padding + kx;
+            if (ix < 0 || ix >= geom.in_w) {
+              continue;
+            }
+            drow[oy * ow + ox] = srow[ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Adjoint of im2col_block: folds one sample's column block back into its
+/// image slice (pre-zeroed by the caller).
+void col2im_block(const float* src, const Conv2dGeometry& geom, float* dst,
+                  std::int64_t col0, std::int64_t ncols) {
+  const auto oh = geom.out_h();
+  const auto ow = geom.out_w();
+  for (std::int64_t c = 0; c < geom.in_channels; ++c) {
+    for (std::int64_t ky = 0; ky < geom.kernel_h; ++ky) {
+      for (std::int64_t kx = 0; kx < geom.kernel_w; ++kx) {
+        const auto row = (c * geom.kernel_h + ky) * geom.kernel_w + kx;
+        const float* srow = src + row * ncols + col0;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const auto iy = oy * geom.stride - geom.padding + ky;
+          if (iy < 0 || iy >= geom.in_h) {
+            continue;
+          }
+          float* drow = dst + (c * geom.in_h + iy) * geom.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const auto ix = ox * geom.stride - geom.padding + kx;
+            if (ix < 0 || ix >= geom.in_w) {
+              continue;
+            }
+            drow[ix] += srow[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& image, const Conv2dGeometry& geom) {
+  DP_REQUIRE(image.rank() == 3, "im2col: expected [C,H,W]");
+  DP_REQUIRE(image.dim(0) == geom.in_channels && image.dim(1) == geom.in_h &&
+                 image.dim(2) == geom.in_w,
+             "im2col: geometry mismatch with image " + image.shape_string());
+  const auto oh = geom.out_h();
+  const auto ow = geom.out_w();
+  DP_REQUIRE(oh > 0 && ow > 0, "im2col: empty output window");
+  Tensor cols({geom.patch_size(), oh * ow});
+  im2col_block(image.data(), geom, cols.data(), 0, oh * ow);
+  return cols;
+}
+
+void im2col_batch_into(const Tensor& images, const Conv2dGeometry& geom,
+                       Tensor& cols) {
+  DP_REQUIRE(images.rank() == 4, "im2col_batch: expected [N,C,H,W]");
+  DP_REQUIRE(images.dim(1) == geom.in_channels &&
+                 images.dim(2) == geom.in_h && images.dim(3) == geom.in_w,
+             "im2col_batch: geometry mismatch with batch " +
+                 images.shape_string());
+  const auto batch = images.dim(0);
+  const auto n_out = geom.out_h() * geom.out_w();
+  DP_REQUIRE(n_out > 0, "im2col_batch: empty output window");
+  const auto ncols = batch * n_out;
+  cols.resize({geom.patch_size(), ncols});
+  const auto per_sample = images.numel() / batch;
+  const float* src = images.data();
+  float* dst = cols.data();
+  parallel_for(0, batch, [&](std::int64_t nb, std::int64_t ne) {
+    for (std::int64_t n = nb; n < ne; ++n) {
+      im2col_block(src + n * per_sample, geom, dst, n * n_out, ncols);
+    }
+  });
+}
+
+Tensor im2col_batch(const Tensor& images, const Conv2dGeometry& geom) {
+  Tensor cols;
+  im2col_batch_into(images, geom, cols);
+  return cols;
+}
+
+Tensor col2im(const Tensor& columns, const Conv2dGeometry& geom) {
+  DP_REQUIRE(columns.rank() == 2, "col2im: expected rank-2 columns");
+  const auto oh = geom.out_h();
+  const auto ow = geom.out_w();
+  DP_REQUIRE(columns.dim(0) == geom.patch_size() &&
+                 columns.dim(1) == oh * ow,
+             "col2im: column shape mismatch");
+  Tensor image({geom.in_channels, geom.in_h, geom.in_w}, 0.0F);
+  col2im_block(columns.data(), geom, image.data(), 0, oh * ow);
+  return image;
+}
+
+Tensor col2im_batch(const Tensor& columns, const Conv2dGeometry& geom,
+                    std::int64_t batch) {
+  DP_REQUIRE(columns.rank() == 2, "col2im_batch: expected rank-2 columns");
+  DP_REQUIRE(batch >= 1, "col2im_batch: batch must be >= 1");
+  const auto n_out = geom.out_h() * geom.out_w();
+  DP_REQUIRE(columns.dim(0) == geom.patch_size() &&
+                 columns.dim(1) == batch * n_out,
+             "col2im_batch: column shape mismatch");
+  Tensor images({batch, geom.in_channels, geom.in_h, geom.in_w}, 0.0F);
+  const auto per_sample = images.numel() / batch;
+  const float* src = columns.data();
+  float* dst = images.data();
+  parallel_for(0, batch, [&](std::int64_t nb, std::int64_t ne) {
+    for (std::int64_t n = nb; n < ne; ++n) {
+      col2im_block(src, geom, dst + n * per_sample, n * n_out,
+                   batch * n_out);
+    }
+  });
+  return images;
+}
+
+// ---- reductions / elementwise ---------------------------------------------
+
+double sum(const Tensor& t) {
+  // Sequential double accumulation: the fixed order keeps the value
+  // independent of thread count (this is a cold path next to the GEMMs).
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    acc += t[i];
+  }
+  return acc;
+}
+
+float max_value(const Tensor& t) {
+  DP_REQUIRE(!t.empty(), "max_value: empty tensor");
+  float m = t[0];
+  for (std::int64_t i = 1; i < t.numel(); ++i) {
+    m = std::max(m, t[i]);
+  }
+  return m;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  DP_REQUIRE(a.same_shape(b), "add: shape mismatch " + a.shape_string() +
+                                  " vs " + b.shape_string());
+  Tensor out = a;
+  float* po = out.data();
+  const float* pb = b.data();
+  parallel_elements(out.numel(), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      po[i] += pb[i];
+    }
+  });
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  DP_REQUIRE(a.same_shape(b), "mul: shape mismatch " + a.shape_string() +
+                                  " vs " + b.shape_string());
+  Tensor out = a;
+  float* po = out.data();
+  const float* pb = b.data();
+  parallel_elements(out.numel(), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      po[i] *= pb[i];
+    }
+  });
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  float* po = out.data();
+  parallel_elements(out.numel(), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      po[i] *= s;
+    }
+  });
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  require_matrix(logits, "softmax_rows");
+  const auto rows = logits.dim(0);
+  const auto cols = logits.dim(1);
+  Tensor out = logits;
+  // Row-parallel: each row's max/sum reduction runs sequentially inside one
+  // task, so the result matches the reference kernel bitwise.
+  parallel_for(
+      0, rows,
+      [&](std::int64_t row_begin, std::int64_t row_end) {
+        for (std::int64_t i = row_begin; i < row_end; ++i) {
+          float* row = out.data() + i * cols;
+          float m = row[0];
+          for (std::int64_t j = 1; j < cols; ++j) {
+            m = std::max(m, row[j]);
+          }
+          double denom = 0.0;
+          for (std::int64_t j = 0; j < cols; ++j) {
+            row[j] = std::exp(row[j] - m);
+            denom += row[j];
+          }
+          const auto inv = static_cast<float>(1.0 / denom);
+          for (std::int64_t j = 0; j < cols; ++j) {
+            row[j] *= inv;
+          }
+        }
+      },
+      std::max<std::int64_t>(1, kElementwiseGrain / std::max<std::int64_t>(
+                                                        1, cols)));
+  return out;
+}
+
+// ---- retained naive reference kernels -------------------------------------
+
+namespace reference {
+
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  const auto m = a.dim(0);
+  const auto k = a.dim(1);
+  const auto n = b.dim(1);
+  DP_REQUIRE(out.dim(0) == m && out.dim(1) == n,
+             "reference::matmul_accumulate: bad output shape");
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
@@ -54,12 +431,21 @@ void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   }
 }
 
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "reference::matmul(a)");
+  require_matrix(b, "reference::matmul(b)");
+  DP_REQUIRE(b.dim(0) == a.dim(1), "reference::matmul: inner mismatch");
+  Tensor out({a.dim(0), b.dim(1)}, 0.0F);
+  reference::matmul_accumulate(a, b, out);
+  return out;
+}
+
 Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
-  require_matrix(a, "matmul_transpose_a(a)");
-  require_matrix(b, "matmul_transpose_a(b)");
+  require_matrix(a, "reference::matmul_transpose_a(a)");
+  require_matrix(b, "reference::matmul_transpose_a(b)");
   const auto m = a.dim(0);
   const auto k = a.dim(1);
-  DP_REQUIRE(b.dim(0) == m, "matmul_transpose_a: row mismatch");
+  DP_REQUIRE(b.dim(0) == m, "reference::matmul_transpose_a: row mismatch");
   const auto n = b.dim(1);
   Tensor out({k, n}, 0.0F);
   const float* pa = a.data();
@@ -83,11 +469,11 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
-  require_matrix(a, "matmul_transpose_b(a)");
-  require_matrix(b, "matmul_transpose_b(b)");
+  require_matrix(a, "reference::matmul_transpose_b(a)");
+  require_matrix(b, "reference::matmul_transpose_b(b)");
   const auto m = a.dim(0);
   const auto n = a.dim(1);
-  DP_REQUIRE(b.dim(1) == n, "matmul_transpose_b: column mismatch");
+  DP_REQUIRE(b.dim(1) == n, "reference::matmul_transpose_b: column mismatch");
   const auto k = b.dim(0);
   Tensor out({m, k}, 0.0F);
   const float* pa = a.data();
@@ -108,128 +494,8 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor im2col(const Tensor& image, const Conv2dGeometry& geom) {
-  DP_REQUIRE(image.rank() == 3, "im2col: expected [C,H,W]");
-  DP_REQUIRE(image.dim(0) == geom.in_channels && image.dim(1) == geom.in_h &&
-                 image.dim(2) == geom.in_w,
-             "im2col: geometry mismatch with image " + image.shape_string());
-  const auto oh = geom.out_h();
-  const auto ow = geom.out_w();
-  DP_REQUIRE(oh > 0 && ow > 0, "im2col: empty output window");
-  Tensor cols({geom.patch_size(), oh * ow}, 0.0F);
-  const float* src = image.data();
-  float* dst = cols.data();
-  const auto n_out = oh * ow;
-  for (std::int64_t c = 0; c < geom.in_channels; ++c) {
-    for (std::int64_t ky = 0; ky < geom.kernel_h; ++ky) {
-      for (std::int64_t kx = 0; kx < geom.kernel_w; ++kx) {
-        const auto row =
-            (c * geom.kernel_h + ky) * geom.kernel_w + kx;
-        float* drow = dst + row * n_out;
-        for (std::int64_t oy = 0; oy < oh; ++oy) {
-          const auto iy = oy * geom.stride - geom.padding + ky;
-          if (iy < 0 || iy >= geom.in_h) {
-            continue;  // Row stays zero (padding).
-          }
-          const float* srow = src + (c * geom.in_h + iy) * geom.in_w;
-          for (std::int64_t ox = 0; ox < ow; ++ox) {
-            const auto ix = ox * geom.stride - geom.padding + kx;
-            if (ix < 0 || ix >= geom.in_w) {
-              continue;
-            }
-            drow[oy * ow + ox] = srow[ix];
-          }
-        }
-      }
-    }
-  }
-  return cols;
-}
-
-Tensor col2im(const Tensor& columns, const Conv2dGeometry& geom) {
-  DP_REQUIRE(columns.rank() == 2, "col2im: expected rank-2 columns");
-  const auto oh = geom.out_h();
-  const auto ow = geom.out_w();
-  DP_REQUIRE(columns.dim(0) == geom.patch_size() &&
-                 columns.dim(1) == oh * ow,
-             "col2im: column shape mismatch");
-  Tensor image({geom.in_channels, geom.in_h, geom.in_w}, 0.0F);
-  const float* src = columns.data();
-  float* dst = image.data();
-  const auto n_out = oh * ow;
-  for (std::int64_t c = 0; c < geom.in_channels; ++c) {
-    for (std::int64_t ky = 0; ky < geom.kernel_h; ++ky) {
-      for (std::int64_t kx = 0; kx < geom.kernel_w; ++kx) {
-        const auto row =
-            (c * geom.kernel_h + ky) * geom.kernel_w + kx;
-        const float* srow = src + row * n_out;
-        for (std::int64_t oy = 0; oy < oh; ++oy) {
-          const auto iy = oy * geom.stride - geom.padding + ky;
-          if (iy < 0 || iy >= geom.in_h) {
-            continue;
-          }
-          float* drow = dst + (c * geom.in_h + iy) * geom.in_w;
-          for (std::int64_t ox = 0; ox < ow; ++ox) {
-            const auto ix = ox * geom.stride - geom.padding + kx;
-            if (ix < 0 || ix >= geom.in_w) {
-              continue;
-            }
-            drow[ix] += srow[oy * ow + ox];
-          }
-        }
-      }
-    }
-  }
-  return image;
-}
-
-double sum(const Tensor& t) {
-  double acc = 0.0;
-  for (std::int64_t i = 0; i < t.numel(); ++i) {
-    acc += t[i];
-  }
-  return acc;
-}
-
-float max_value(const Tensor& t) {
-  DP_REQUIRE(!t.empty(), "max_value: empty tensor");
-  float m = t[0];
-  for (std::int64_t i = 1; i < t.numel(); ++i) {
-    m = std::max(m, t[i]);
-  }
-  return m;
-}
-
-Tensor add(const Tensor& a, const Tensor& b) {
-  DP_REQUIRE(a.same_shape(b), "add: shape mismatch " + a.shape_string() +
-                                  " vs " + b.shape_string());
-  Tensor out = a;
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    out[i] += b[i];
-  }
-  return out;
-}
-
-Tensor mul(const Tensor& a, const Tensor& b) {
-  DP_REQUIRE(a.same_shape(b), "mul: shape mismatch " + a.shape_string() +
-                                  " vs " + b.shape_string());
-  Tensor out = a;
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    out[i] *= b[i];
-  }
-  return out;
-}
-
-Tensor scale(const Tensor& a, float s) {
-  Tensor out = a;
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    out[i] *= s;
-  }
-  return out;
-}
-
 Tensor softmax_rows(const Tensor& logits) {
-  require_matrix(logits, "softmax_rows");
+  require_matrix(logits, "reference::softmax_rows");
   const auto rows = logits.dim(0);
   const auto cols = logits.dim(1);
   Tensor out = logits;
@@ -251,5 +517,7 @@ Tensor softmax_rows(const Tensor& logits) {
   }
   return out;
 }
+
+}  // namespace reference
 
 }  // namespace diffpattern::tensor

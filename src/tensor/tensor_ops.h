@@ -1,9 +1,12 @@
 // Raw numeric kernels over Tensor: GEMM, im2col/col2im, reductions.
 //
 // These are the non-differentiable building blocks; gradient bookkeeping is
-// layered on top in src/nn. All kernels are single-threaded and written for
-// clarity first, with the GEMM loop order (i, k, j) chosen so the inner loop
-// streams contiguously.
+// layered on top in src/nn. The GEMM family and the batch-wide convolution
+// unrolls run blocked and row-parallel on the process-wide compute pool
+// (src/tensor/parallel.h); every kernel keeps a fixed per-element reduction
+// order, so results are byte-identical for any thread count. The original
+// single-threaded kernels are retained under tensor::reference as the
+// exact-equality oracle for tests.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +17,10 @@ namespace diffpattern::tensor {
 
 /// C[M,N] = A[M,K] * B[K,N].
 Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C[M,N] = A[M,K] * B[K,N] written into `out` (shape-checked, zeroed
+/// first) — the allocation-free form for scratch-buffer reuse.
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
 
 /// C[M,N] += A[M,K] * B[K,N] accumulated into `out` (shapes must match).
 void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out);
@@ -46,11 +53,28 @@ struct Conv2dGeometry {
 /// (padding) positions contribute zeros.
 Tensor im2col(const Tensor& image, const Conv2dGeometry& geom);
 
+/// Batch-wide unroll: [N,C,H,W] -> [C*kh*kw, N*OH*OW], sample-major columns
+/// (sample n owns columns [n*OH*OW, (n+1)*OH*OW)). One matmul against the
+/// flattened conv weight then convolves the whole batch; each column block
+/// is byte-identical to im2col of that sample, so batched convolution is
+/// bit-equal to the per-sample path.
+Tensor im2col_batch(const Tensor& images, const Conv2dGeometry& geom);
+
+/// Allocation-free im2col_batch: resizes `cols` (reusing its storage across
+/// denoising rounds) and overwrites every entry.
+void im2col_batch_into(const Tensor& images, const Conv2dGeometry& geom,
+                       Tensor& cols);
+
 /// Adjoint of im2col: folds columns [C*kh*kw, OH*OW] back into an image
 /// [C,H,W], accumulating overlapping contributions.
 Tensor col2im(const Tensor& columns, const Conv2dGeometry& geom);
 
-/// Sum of all elements.
+/// Adjoint of im2col_batch: folds [C*kh*kw, N*OH*OW] back into [N,C,H,W],
+/// one independent (parallel) fold per sample.
+Tensor col2im_batch(const Tensor& columns, const Conv2dGeometry& geom,
+                    std::int64_t batch);
+
+/// Sum of all elements (sequential double accumulation — deterministic).
 double sum(const Tensor& t);
 
 /// Maximum element (requires non-empty tensor).
@@ -67,5 +91,16 @@ Tensor scale(const Tensor& a, float s);
 
 /// Numerically stable row-wise softmax over the last axis of a 2-D tensor.
 Tensor softmax_rows(const Tensor& logits);
+
+/// Retained naive single-threaded kernels: the exact-equality oracle for the
+/// blocked/parallel implementations above (tests/test_parallel_kernels.cpp
+/// asserts bitwise agreement), and a readable spec of the arithmetic.
+namespace reference {
+Tensor matmul(const Tensor& a, const Tensor& b);
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b);
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b);
+Tensor softmax_rows(const Tensor& logits);
+}  // namespace reference
 
 }  // namespace diffpattern::tensor

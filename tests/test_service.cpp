@@ -84,6 +84,47 @@ TEST_F(PatternServiceTest, RejectsBadCounts) {
             dc::StatusCode::kInvalidArgument);
 }
 
+TEST_F(PatternServiceTest, ZeroLegalizeWorkersIsInvalidArgument) {
+  ds::ServiceConfig config;
+  config.legalize_workers = 0;
+  ds::PatternService service(config);
+  ds::GenerateRequest request;
+  request.model = "anything";
+  const auto result = service.generate(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), dc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.validate(request).code(),
+            dc::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PatternServiceTest, ZeroComputeThreadsIsInvalidArgument) {
+  ds::ServiceConfig config;
+  config.compute_threads = 0;
+  ds::PatternService service(config);
+  ds::SampleTopologiesRequest request;
+  request.model = "anything";
+  const auto result = service.sample_topologies(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), dc::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PatternServiceTest, NegativeWorkerCountsMeanAutoAndStillServe) {
+  ds::ServiceConfig config;
+  config.legalize_workers = -1;   // Hardware default (>= 1 even when the
+  config.compute_threads = -1;    // runtime reports 0 cores).
+  ds::PatternService service(config);
+  const auto status = service.models().register_model(
+      "mini", mini_model_config(), model_.registry(), {});
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  ds::SampleTopologiesRequest request;
+  request.model = "mini";
+  request.count = 2;
+  request.seed = 5;
+  const auto result = service.sample_topologies(request);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->topologies.size(), 2U);
+}
+
 TEST_F(PatternServiceTest, RejectsMissingModel) {
   const ds::GenerateRequest request{.model = "nope", .count = 1};
   EXPECT_EQ(service_->validate(request).code(), dc::StatusCode::kNotFound);

@@ -8,14 +8,17 @@
 //
 // All subcommands share one scaled pipeline configuration; `train` writes a
 // checkpoint that `generate` reloads, and `generate` emits a pattern
-// library that `evaluate`/`render` consume. Exit code 0 on success, 1 on
-// usage errors, 2 on runtime failures.
+// library that `evaluate`/`render` consume. Every subcommand accepts
+// `--threads N` to size the tensor compute pool (default: the
+// DIFFPATTERN_THREADS env var, else hardware concurrency). Exit code 0 on
+// success, 1 on usage errors, 2 on runtime failures.
 #include <charconv>
 #include <iostream>
 #include <map>
 #include <stdexcept>
 #include <string>
 
+#include "common/compute_pool.h"
 #include "core/pipeline.h"
 #include "drc/checker.h"
 #include "io/gds.h"
@@ -64,8 +67,24 @@ int usage() {
       "           [--geometries N] [--rules normal|space|area] [--seed S]\n"
       "  evaluate --library library.bin [--rules normal|space|area]\n"
       "  render   --library library.bin --out-dir DIR [--limit N]\n"
-      "  export-gds --library library.bin --out patterns.gds [--layer N]\n";
+      "  export-gds --library library.bin --out patterns.gds [--layer N]\n\n"
+      "Every subcommand accepts --threads N to size the compute pool used\n"
+      "by the numeric kernels (default: DIFFPATTERN_THREADS env, else all\n"
+      "hardware threads). Results are identical for every thread count.\n";
   return 1;
+}
+
+/// Applies --threads to the process-wide compute pool before any kernel
+/// runs. 0 is rejected (a zero-thread pool cannot make progress).
+void apply_thread_option(const Args& args) {
+  if (!args.has("threads")) {
+    return;
+  }
+  const auto requested = args.get_int("threads", -1);
+  const auto status = dp::common::set_global_compute_threads(requested);
+  if (!status.ok()) {
+    throw UsageError("--threads: " + status.message());
+  }
 }
 
 dp::core::PipelineConfig cli_config(const Args& args) {
@@ -227,6 +246,7 @@ int main(int argc, char** argv) {
     args.options[key.substr(2)] = argv[i + 1];
   }
   try {
+    apply_thread_option(args);
     if (args.command == "train") {
       return cmd_train(args);
     }
