@@ -1,0 +1,65 @@
+#include "common/counters.h"
+
+#include <sstream>
+
+namespace diffpattern::common {
+
+std::int64_t ServiceCounters::total_rejected() const {
+  std::int64_t total = 0;
+  for (const auto count : rejects_by_code) {
+    total += count;
+  }
+  return total;
+}
+
+std::string ServiceCounters::to_string() const {
+  std::ostringstream out;
+  out << "service counters:\n"
+      << "  queue_depth:        " << queue_depth << "\n"
+      << "  shards_active:      " << shards_active << "\n"
+      << "  shards_spawned:     " << shards_spawned << "\n"
+      << "  rounds_executed:    " << rounds_executed << "\n"
+      << "  denoise_steps:      " << denoise_steps << "\n"
+      << "  fused_slots_total:  " << fused_slots_total << "\n"
+      << "  max_round_slots:    " << max_round_slots << "\n"
+      << "  fused_fill_ratio:   " << fused_fill_ratio << "\n"
+      << "  requests_accepted:  " << requests_accepted << "\n"
+      << "  requests_completed: " << requests_completed << "\n"
+      << "  stream_deliveries:  " << stream_deliveries << "\n"
+      << "  patterns_delivered: " << patterns_delivered << "\n"
+      << "  rejects:            " << total_rejected();
+  for (std::size_t i = 0; i < rejects_by_code.size(); ++i) {
+    if (rejects_by_code[i] != 0) {
+      out << "\n    " << common::to_string(static_cast<StatusCode>(i)) << ": "
+          << rejects_by_code[i];
+    }
+  }
+  out << "\n";
+  return out.str();
+}
+
+ServiceCounters CounterBlock::snapshot(std::int64_t max_fused_batch) const {
+  ServiceCounters s;
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.shards_active = shards_active_.load(std::memory_order_relaxed);
+  s.shards_spawned = shards_spawned_.load(std::memory_order_relaxed);
+  s.rounds_executed = rounds_executed_.load(std::memory_order_relaxed);
+  s.denoise_steps = denoise_steps_.load(std::memory_order_relaxed);
+  s.fused_slots_total = fused_slots_total_.load(std::memory_order_relaxed);
+  s.max_round_slots = max_round_slots_.load(std::memory_order_relaxed);
+  s.requests_accepted = requests_accepted_.load(std::memory_order_relaxed);
+  s.requests_completed = requests_completed_.load(std::memory_order_relaxed);
+  s.stream_deliveries = stream_deliveries_.load(std::memory_order_relaxed);
+  s.patterns_delivered = patterns_delivered_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < rejects_.size(); ++i) {
+    s.rejects_by_code[i] = rejects_[i].load(std::memory_order_relaxed);
+  }
+  if (s.rounds_executed > 0 && max_fused_batch > 0) {
+    s.fused_fill_ratio =
+        static_cast<double>(s.fused_slots_total) /
+        static_cast<double>(s.rounds_executed * max_fused_batch);
+  }
+  return s;
+}
+
+}  // namespace diffpattern::common

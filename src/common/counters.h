@@ -1,0 +1,119 @@
+// Service-level observability counters.
+//
+// A CounterBlock is the live, lock-free (atomic) counter set owned by a
+// PatternService: the scheduler shards, the streaming delivery path, and
+// the request admission code all record into it from their own threads.
+// ServiceCounters is the plain-value snapshot handed to callers
+// (PatternService::counters(), the CLI --stats dump, load-shedding logic).
+//
+// Gauges (queue_depth, shards_active) move both ways; everything else is a
+// monotone total since service construction. All recording uses relaxed
+// atomics — counters order nothing, they only have to be torn-read-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace diffpattern::common {
+
+/// Plain-value snapshot of a service's counters at one instant.
+struct ServiceCounters {
+  // -- gauges (instantaneous) --
+  std::int64_t queue_depth = 0;    ///< Sampling jobs queued across shards.
+  std::int64_t shards_active = 0;  ///< Live per-model batcher shards.
+
+  // -- totals (monotone since service construction) --
+  std::int64_t shards_spawned = 0;   ///< Shards ever created (lazy spawn).
+  std::int64_t rounds_executed = 0;  ///< Fused sampling rounds run.
+  std::int64_t denoise_steps = 0;    ///< Reverse-diffusion steps, all rounds.
+  std::int64_t fused_slots_total = 0;  ///< Slots summed over all rounds.
+  std::int64_t max_round_slots = 0;    ///< Largest single fused round.
+  std::int64_t requests_accepted = 0;  ///< Requests admitted for execution.
+  std::int64_t requests_completed = 0;  ///< Requests finished OK.
+  std::int64_t stream_deliveries = 0;   ///< Per-slot stream callbacks fired.
+  std::int64_t patterns_delivered = 0;  ///< Legal patterns across deliveries.
+  /// Requests answered with a non-OK status, indexed by StatusCode value.
+  std::array<std::int64_t, kStatusCodeCount> rejects_by_code{};
+
+  /// Mean fused-batch occupancy: fused_slots_total over the slot capacity of
+  /// the executed rounds (rounds_executed * max_fused_batch). 0 when no
+  /// round has run; 1.0 means every round filled its budget.
+  double fused_fill_ratio = 0.0;
+
+  std::int64_t rejects(StatusCode code) const {
+    return rejects_by_code[static_cast<std::size_t>(code)];
+  }
+  std::int64_t total_rejected() const;
+
+  /// Multi-line human-readable dump (the CLI --stats format).
+  std::string to_string() const;
+};
+
+/// The live atomic counter set. Recording is thread-safe and wait-free;
+/// snapshot() reads each counter individually (the snapshot is consistent
+/// per-counter, not globally — fine for observability).
+class CounterBlock {
+ public:
+  void add_queue_depth(std::int64_t delta) {
+    queue_depth_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void add_shards_active(std::int64_t delta) {
+    shards_active_.fetch_add(delta, std::memory_order_relaxed);
+    if (delta > 0) {
+      shards_spawned_.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  void record_round(std::int64_t slots) {
+    rounds_executed_.fetch_add(1, std::memory_order_relaxed);
+    fused_slots_total_.fetch_add(slots, std::memory_order_relaxed);
+    std::int64_t seen = max_round_slots_.load(std::memory_order_relaxed);
+    while (slots > seen && !max_round_slots_.compare_exchange_weak(
+                               seen, slots, std::memory_order_relaxed)) {
+    }
+  }
+  void record_denoise_step() {
+    denoise_steps_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_accepted() {
+    requests_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_completed() {
+    requests_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_delivery(std::int64_t patterns) {
+    stream_deliveries_.fetch_add(1, std::memory_order_relaxed);
+    patterns_delivered_.fetch_add(patterns, std::memory_order_relaxed);
+  }
+  /// Records a rejected request; OK statuses are ignored so callers can
+  /// funnel every outgoing status through one place.
+  void record_status(const Status& status) {
+    if (!status.ok()) {
+      rejects_[static_cast<std::size_t>(status.code())].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+
+  /// `max_fused_batch` is the admission budget the fill ratio is computed
+  /// against (the service passes its configured value).
+  ServiceCounters snapshot(std::int64_t max_fused_batch) const;
+
+ private:
+  std::atomic<std::int64_t> queue_depth_{0};
+  std::atomic<std::int64_t> shards_active_{0};
+  std::atomic<std::int64_t> shards_spawned_{0};
+  std::atomic<std::int64_t> rounds_executed_{0};
+  std::atomic<std::int64_t> denoise_steps_{0};
+  std::atomic<std::int64_t> fused_slots_total_{0};
+  std::atomic<std::int64_t> max_round_slots_{0};
+  std::atomic<std::int64_t> requests_accepted_{0};
+  std::atomic<std::int64_t> requests_completed_{0};
+  std::atomic<std::int64_t> stream_deliveries_{0};
+  std::atomic<std::int64_t> patterns_delivered_{0};
+  std::array<std::atomic<std::int64_t>, kStatusCodeCount> rejects_{};
+};
+
+}  // namespace diffpattern::common

@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include <stdexcept>
+
 namespace diffpattern::common {
 
 const char* to_string(StatusCode code) {
@@ -18,6 +20,32 @@ const char* to_string(StatusCode code) {
       return "UNAVAILABLE";
   }
   return "UNKNOWN";
+}
+
+Status exception_to_status(const std::exception& e) {
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return Status::InvalidArgument(e.what());
+  }
+  return Status::Internal(e.what());
+}
+
+Status validate_resource_name(const std::string& name, const char* what) {
+  if (name.empty()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": name must be non-empty");
+  }
+  for (const char ch : name) {
+    if (static_cast<unsigned char>(ch) < 0x20 || ch == 0x7F) {
+      return Status::InvalidArgument(
+          std::string(what) + ": name contains a control character");
+    }
+  }
+  if (name.front() == ' ' || name.back() == ' ') {
+    return Status::InvalidArgument(
+        std::string(what) +
+        ": name has leading/trailing whitespace: '" + name + "'");
+  }
+  return Status::Ok();
 }
 
 std::string Status::to_string() const {

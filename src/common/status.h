@@ -6,6 +6,8 @@
 // gRPC/absl vocabulary so they map directly onto a future RPC surface.
 #pragma once
 
+#include <cstddef>
+#include <exception>
 #include <optional>
 #include <string>
 #include <utility>
@@ -21,9 +23,34 @@ enum class StatusCode {
   kFailedPrecondition = 3,  // Call ordering violated (e.g. untrained model).
   kInternal = 4,          // Invariant broke inside the service.
   kUnavailable = 5,       // Service shutting down; retry elsewhere.
+  // When adding a code, bump kStatusCodeCount below — per-code arrays
+  // (e.g. the reject counters) are sized with it.
 };
 
+/// Number of StatusCode enumerators; indexes per-code arrays like the
+/// service's rejects_by_code counters.
+inline constexpr std::size_t kStatusCodeCount = 6;
+static_assert(static_cast<std::size_t>(StatusCode::kUnavailable) + 1 ==
+                  kStatusCodeCount,
+              "kStatusCodeCount must cover every StatusCode enumerator");
+
 const char* to_string(StatusCode code);
+
+class Status;
+
+/// Validates a caller-supplied resource name (model, rule set, ...): the
+/// name must be non-empty, contain no control characters, and carry no
+/// leading/trailing whitespace (interior spaces are fine). Returns
+/// INVALID_ARGUMENT mentioning `what` otherwise. Registration surfaces
+/// share this so an unprintable name can never become an unreachable or
+/// shadowed registry key.
+Status validate_resource_name(const std::string& name, const char* what);
+
+/// Canonical mapping for exceptions caught at a service boundary:
+/// std::invalid_argument -> INVALID_ARGUMENT, anything else -> INTERNAL.
+/// Every layer that converts (instead of propagating) uses this one
+/// mapping so a new exception type is classified in exactly one place.
+Status exception_to_status(const std::exception& e);
 
 class [[nodiscard]] Status {
  public:

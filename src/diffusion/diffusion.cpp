@@ -220,7 +220,8 @@ Tensor sample(unet::UNet& model, const BinarySchedule& schedule,
 Tensor sample_streams(unet::UNet& model, const BinarySchedule& schedule,
                       std::int64_t height, std::int64_t width,
                       const SamplerConfig& config,
-                      const std::vector<common::Rng*>& streams) {
+                      const std::vector<common::Rng*>& streams,
+                      const RoundHook& round_hook) {
   const auto batch = static_cast<std::int64_t>(streams.size());
   DP_REQUIRE(batch >= 1 && height >= 1 && width >= 1,
              "sample_streams: bad output shape");
@@ -279,6 +280,9 @@ Tensor sample_streams(unet::UNet& model, const BinarySchedule& schedule,
         }
       }
     });
+    if (round_hook) {
+      round_hook(k, batch);
+    }
   }
   require_binary(x, "sample_streams output");
   return x;

@@ -89,6 +89,14 @@ tensor::Tensor sample(unet::UNet& model, const BinarySchedule& schedule,
                       common::Rng& rng,
                       const SampleObserver& observer = nullptr);
 
+/// Per-step hook for the fused sampler, called after every completed
+/// reverse step with (k just finished, batch size). Unlike SampleObserver
+/// it deliberately does NOT expose the intermediate tensor: it exists for
+/// round-structured bookkeeping (the service's denoise-step counters and
+/// progress accounting), so the sampler never has to copy state out of the
+/// hot loop. Must not throw.
+using RoundHook = std::function<void(std::int64_t k, std::int64_t batch)>;
+
 /// Fused reverse-diffusion over streams.size() samples in ONE batch: the
 /// U-Net forward runs once per step for the whole batch, while sample i
 /// draws its stochastic transitions exclusively from *streams[i]. Every
@@ -96,11 +104,14 @@ tensor::Tensor sample(unet::UNet& model, const BinarySchedule& schedule,
 /// bit-identical to a batch-1 run fed the same stream — this is what lets
 /// the service fuse queued requests without breaking per-request
 /// reproducibility. Returns [streams.size(), C, height, width].
+/// `round_hook`, when set, fires once per reverse step (schedule.steps()
+/// times) and never affects the sampled values.
 tensor::Tensor sample_streams(unet::UNet& model,
                               const BinarySchedule& schedule,
                               std::int64_t height, std::int64_t width,
                               const SamplerConfig& config,
-                              const std::vector<common::Rng*>& streams);
+                              const std::vector<common::Rng*>& streams,
+                              const RoundHook& round_hook = nullptr);
 
 /// Strided (DDIM-style [12]) fast sampler: walks a subsequence of the K
 /// steps — K, K - stride, K - 2*stride, ..., 1 — using the generalized

@@ -1,0 +1,429 @@
+#include "service/batch_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "diffusion/diffusion.h"
+#include "layout/deep_squish.h"
+
+namespace diffpattern::service {
+
+namespace {
+
+// Stream tag for common::derive_seed: sampling slot i of a request always
+// draws from derive_seed(seed, kSampleStream, i), independent of which
+// shard, round, or admission grant carried it.
+constexpr std::uint64_t kSampleStream = 0x53414D50;  // "SAMP"
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(std::int64_t max_fused_batch,
+                               common::CounterBlock& counters)
+    : max_fused_batch_(std::max<std::int64_t>(1, max_fused_batch)),
+      counters_(counters),
+      available_slots_(std::max<std::int64_t>(1, max_fused_batch)) {}
+
+BatchScheduler::~BatchScheduler() { shutdown(); }
+
+void BatchScheduler::set_spawn_gate(
+    std::function<bool(const std::string&)> gate) {
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  spawn_gate_ = std::move(gate);
+}
+
+common::Status BatchScheduler::submit(std::shared_ptr<SampleJob> job) {
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  if (shutdown_requested_) {
+    return common::Status::Unavailable("PatternService is shutting down");
+  }
+  const auto& model = job->artifacts->name;
+  auto it = shards_.find(model);
+  if (it == shards_.end()) {
+    if (spawn_gate_ && !spawn_gate_(model)) {
+      return common::Status::NotFound("model '" + model +
+                                      "' was unregistered");
+    }
+    auto fresh = std::make_unique<Shard>();
+    fresh->model = model;
+    // Insert BEFORE starting the thread: if the map node allocation threw
+    // with the thread already running, unwinding would destroy a Shard
+    // that is still in use (and a joinable std::thread -> terminate).
+    it = shards_.emplace(model, std::move(fresh)).first;
+    Shard* raw = it->second.get();
+    try {
+      raw->thread = std::thread([this, raw] { shard_loop(*raw); });
+    } catch (...) {
+      shards_.erase(it);  // Thread never started; the Shard is inert.
+      return common::Status::Unavailable(
+          "could not start a batcher shard for model '" + model + "'");
+    }
+    counters_.add_shards_active(1);
+  }
+  Shard* shard = it->second.get();
+  // Enqueue AND notify under shards_mutex_: remove_shard/shutdown extract
+  // the shard from the map under the same lock before destroying it, so
+  // the cv we notify cannot be freed underneath us. The gauge increments
+  // BEFORE the push — the shard thread decrements only after popping, so
+  // the queue_depth gauge can never be observed negative.
+  counters_.add_queue_depth(1);
+  {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    shard->queue.push_back(std::move(job));
+  }
+  shard->cv.notify_one();
+  return common::Status::Ok();
+}
+
+void BatchScheduler::remove_shard(const std::string& model) {
+  std::unique_ptr<Shard> shard;
+  {
+    const std::lock_guard<std::mutex> lock(shards_mutex_);
+    const auto it = shards_.find(model);
+    if (it == shards_.end()) {
+      return;
+    }
+    shard = std::move(it->second);
+    shards_.erase(it);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->drain_and_stop = true;
+  }
+  shard->cv.notify_all();
+  shard->thread.join();
+  counters_.add_shards_active(-1);
+}
+
+std::int64_t BatchScheduler::shard_count() const {
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  return static_cast<std::int64_t>(shards_.size());
+}
+
+void BatchScheduler::shutdown() {
+  std::map<std::string, std::unique_ptr<Shard>> shards;
+  {
+    const std::lock_guard<std::mutex> lock(shards_mutex_);
+    if (shutdown_requested_) {
+      return;
+    }
+    shutdown_requested_ = true;
+    shards.swap(shards_);
+  }
+  shutdown_.store(true, std::memory_order_relaxed);
+  // Same empty-critical-section idiom as the shard loop below: without it
+  // the notify could land in the window where a waiter has evaluated its
+  // predicate but not yet blocked, and the wakeup would be lost.
+  { const std::lock_guard<std::mutex> budget_lock(budget_mutex_); }
+  budget_cv_.notify_all();
+  for (auto& [model, shard] : shards) {
+    // Acquire the shard mutex (empty critical section) between the store
+    // and the notify: a shard thread that already evaluated its wait
+    // predicate re-acquires the mutex after us and re-reads shutdown_, so
+    // the wakeup cannot be lost between its check and its block.
+    { const std::lock_guard<std::mutex> shard_lock(shard->mutex); }
+    shard->cv.notify_all();
+  }
+  for (auto& [model, shard] : shards) {
+    shard->thread.join();
+    counters_.add_shards_active(-1);
+  }
+}
+
+std::int64_t BatchScheduler::acquire_slots(std::int64_t wanted) {
+  std::unique_lock<std::mutex> lock(budget_mutex_);
+  budget_cv_.wait(lock, [this] {
+    return available_slots_ > 0 || shutdown_.load(std::memory_order_relaxed);
+  });
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    return 0;
+  }
+  const auto granted = std::min(wanted, available_slots_);
+  available_slots_ -= granted;
+  return granted;
+}
+
+void BatchScheduler::release_slots(std::int64_t granted) {
+  if (granted <= 0) {
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(budget_mutex_);
+    available_slots_ += granted;
+  }
+  budget_cv_.notify_all();
+}
+
+void BatchScheduler::shard_loop(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  for (;;) {
+    shard.cv.wait(lock, [&] {
+      return shard.drain_and_stop || !shard.queue.empty() ||
+             shutdown_.load(std::memory_order_relaxed);
+    });
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      for (auto& job : shard.queue) {
+        job->error =
+            common::Status::Unavailable("PatternService is shutting down");
+        counters_.add_queue_depth(-1);
+        job->finish();
+      }
+      shard.queue.clear();
+      return;
+    }
+    if (shard.queue.empty()) {
+      if (shard.drain_and_stop) {
+        return;  // Unregistered with nothing left to sample.
+      }
+      continue;
+    }
+    try {
+      run_round(shard, lock);
+    } catch (...) {
+      // Last-ditch guard (e.g. bad_alloc building round bookkeeping): fail
+      // every queued job rather than terminating the shard thread — no
+      // exception may cross the service boundary.
+      if (!lock.owns_lock()) {
+        lock.lock();  // run_round may throw from its unlocked section.
+      }
+      for (auto& job : shard.queue) {
+        if (job->error.ok()) {
+          job->error =
+              common::Status::Internal("sampling round failed unexpectedly");
+        }
+        counters_.add_queue_depth(-1);
+        job->finish();
+      }
+      shard.queue.clear();
+    }
+  }
+}
+
+/// Acquires admission budget, pops up to that many slots for ONE model
+/// revision off the shard queue, runs a single fused reverse-diffusion
+/// batch over them (dropping the lock for the duration), fires streaming
+/// hooks, and completes any job whose slots are all sampled.
+void BatchScheduler::run_round(Shard& shard,
+                               std::unique_lock<std::mutex>& lock) {
+  // How many slots the front model revision could use this round. Jobs for
+  // a different revision (hot reload mid-queue) are skipped here and
+  // batched by a later round.
+  const ModelArtifacts* model = shard.queue.front()->artifacts.get();
+  std::int64_t wanted = 0;
+  for (const auto& job : shard.queue) {
+    if (job->artifacts.get() == model) {
+      wanted += job->count - job->next_slot;
+    }
+  }
+  wanted = std::min(wanted, max_fused_batch_);
+
+  // Admission: wait for a share of the global fused-slot budget. The wait
+  // happens without shard.mutex so submits keep landing meanwhile.
+  lock.unlock();
+  const auto granted = acquire_slots(wanted);
+  lock.lock();
+  if (granted == 0) {
+    return;  // Shutdown: the loop fails the queue.
+  }
+
+  struct RoundEntry {
+    std::shared_ptr<SampleJob> job;
+    std::int64_t slot_begin = 0;
+    std::int64_t slots = 0;
+  };
+  std::vector<RoundEntry> round;
+  // Fails every job already popped into `round` (they are no longer in
+  // shard.queue, so shard_loop's catch-all would miss them) and returns
+  // the admission grant. The exception-path cleanup for this function:
+  // jobs never hang in done.wait() and the budget never leaks.
+  const auto fail_round = [&](const common::Status& status) {
+    for (auto& entry : round) {
+      if (entry.job->error.ok()) {
+        entry.job->error = status;
+      }
+      entry.job->finish();
+    }
+    release_slots(granted);
+  };
+
+  std::shared_ptr<SampleJob> leftover;  // Partially-handed job, if any.
+  bool leftover_requeued = false;
+  try {
+    std::int64_t budget = granted;
+    for (auto it = shard.queue.begin();
+         it != shard.queue.end() && budget > 0;) {
+      auto& job = *it;
+      if (job->cancel != nullptr &&
+          job->cancel->load(std::memory_order_relaxed)) {
+        // The submitter already failed downstream; stop sampling for it.
+        if (job->error.ok()) {
+          job->error = common::Status::Unavailable(
+              "request abandoned after a downstream failure");
+        }
+        counters_.add_queue_depth(-1);
+        job->finish();
+        it = shard.queue.erase(it);
+        continue;
+      }
+      if (job->artifacts.get() != model) {
+        ++it;
+        continue;
+      }
+      const auto take = std::min(budget, job->count - job->next_slot);
+      round.push_back(RoundEntry{job, job->next_slot, take});
+      job->next_slot += take;
+      budget -= take;
+      if (job->next_slot < job->count) {
+        leftover = job;
+      } else {
+        counters_.add_queue_depth(-1);
+      }
+      it = shard.queue.erase(it);
+    }
+    if (round.empty()) {
+      release_slots(granted);
+      return;
+    }
+    if (leftover != nullptr) {
+      // Requeue the unfinished job at the back so the shard's other jobs
+      // get the next round instead of being blocked by one oversized
+      // request. Per-slot RNG streams make the round composition
+      // irrelevant to every job's output.
+      shard.queue.push_back(leftover);
+      leftover_requeued = true;
+    }
+  } catch (...) {
+    // bad_alloc growing `round` or requeueing: fail what was popped (a
+    // job still in the queue keeps its turn with the next round).
+    if (leftover != nullptr && !leftover_requeued) {
+      counters_.add_queue_depth(-1);  // Popped but not requeued.
+    }
+    fail_round(common::Status::Internal(
+        "sampling round setup failed unexpectedly"));
+    return;
+  }
+
+  std::int64_t total_slots = 0;
+  for (const auto& entry : round) {
+    total_slots += entry.slots;
+  }
+
+  lock.unlock();
+  common::Status round_error;
+  tensor::Tensor samples;
+  double round_seconds = 0.0;
+  const auto folded = model->config.folded_side();
+  if (!folded.ok()) {
+    round_error = folded.status();
+  } else {
+    try {
+      std::vector<common::Rng> streams;
+      streams.reserve(static_cast<std::size_t>(total_slots));
+      for (const auto& entry : round) {
+        for (std::int64_t i = 0; i < entry.slots; ++i) {
+          streams.emplace_back(common::derive_seed(
+              entry.job->seed, kSampleStream,
+              static_cast<std::uint64_t>(entry.slot_begin + i)));
+        }
+      }
+      std::vector<common::Rng*> stream_ptrs;
+      stream_ptrs.reserve(streams.size());
+      for (auto& s : streams) {
+        stream_ptrs.push_back(&s);
+      }
+      common::Timer timer;
+      samples = diffusion::sample_streams(
+          *model->model, *model->schedule, *folded, *folded,
+          diffusion::SamplerConfig{}, stream_ptrs,
+          [this](std::int64_t /*k*/, std::int64_t /*batch*/) {
+            counters_.record_denoise_step();
+          });
+      round_seconds = timer.seconds();
+    } catch (const std::exception& e) {
+      round_error = common::exception_to_status(e);
+    } catch (...) {
+      round_error =
+          common::Status::Internal("sampling round failed unexpectedly");
+    }
+  }
+  release_slots(granted);
+  counters_.record_round(total_slots);
+
+  try {
+    layout::DeepSquishConfig fold;
+    fold.channels = model->config.channels;
+    const auto per_slot =
+        samples.numel() > 0 ? samples.numel() / total_slots : 0;
+    std::int64_t cursor = 0;
+    // Job bookkeeping needs no lock: until its promise resolves, a job's
+    // mutable state belongs to this shard thread (see SampleJob contract).
+    for (auto& entry : round) {
+      auto& job = *entry.job;
+      if (!round_error.ok()) {
+        if (job.error.ok()) {
+          job.error = round_error;
+        }
+        cursor += entry.slots;
+        continue;
+      }
+      for (std::int64_t i = 0; i < entry.slots; ++i) {
+        tensor::Tensor one({model->config.channels, *folded, *folded});
+        std::copy(samples.data() + (cursor + i) * per_slot,
+                  samples.data() + (cursor + i + 1) * per_slot, one.data());
+        job.grids[static_cast<std::size_t>(entry.slot_begin + i)] =
+            layout::unfold_topology(one, fold);
+      }
+      cursor += entry.slots;
+      job.done_slots += entry.slots;
+      job.sampling_seconds += round_seconds *
+                              static_cast<double>(entry.slots) /
+                              static_cast<double>(total_slots);
+      job.fused_batch_slots = std::max(job.fused_batch_slots, total_slots);
+      // Hook BEFORE finish(): the streaming path counts submitted slots in
+      // the hook and trusts that no hook fires after the job's future
+      // resolves.
+      if (job.on_slots_sampled) {
+        job.on_slots_sampled(entry.slot_begin,
+                             entry.slot_begin + entry.slots);
+      }
+    }
+  } catch (...) {
+    // bad_alloc unfolding a slot or inside a streaming hook: the budget is
+    // already released; fail every round job that has not errored yet so
+    // no caller hangs (slots a hook already fanned out still drain —
+    // the service waits on them before reading the error).
+    round_error =
+        common::Status::Internal("sampling round delivery failed");
+    for (auto& entry : round) {
+      if (entry.job->error.ok()) {
+        entry.job->error = round_error;
+      }
+    }
+  }
+  for (auto& entry : round) {
+    auto& job = *entry.job;
+    if (!job.error.ok() || job.done_slots == job.count) {
+      job.finish();
+    }
+  }
+
+  lock.lock();
+  if (!round_error.ok()) {
+    // Failed jobs may still hold unhanded slots in the queue; drop them so
+    // later rounds don't sample for an already-answered request.
+    const auto failed = [](const std::shared_ptr<SampleJob>& job) {
+      return !job->error.ok();
+    };
+    for (const auto& job : shard.queue) {
+      if (failed(job)) {
+        counters_.add_queue_depth(-1);
+      }
+    }
+    shard.queue.erase(
+        std::remove_if(shard.queue.begin(), shard.queue.end(), failed),
+        shard.queue.end());
+  }
+}
+
+}  // namespace diffpattern::service

@@ -1,0 +1,158 @@
+// Sharded sampling scheduler: one batcher shard per registered model.
+//
+// PR 1's service ran every model through a single batcher thread; a burst
+// on one model head-of-line blocked every other model's rounds. The
+// BatchScheduler splits that monolith: each model gets its own shard (a
+// queue + batcher thread), spawned lazily on the first request that names
+// the model and torn down when the model is unregistered. Shards run
+// independently, so traffic on one model never delays another model's
+// rounds — but peak memory is still bounded globally: before running a
+// round, a shard acquires slots from a shared admission budget of
+// max_fused_batch fused slots, so the sum of concurrently sampled slots
+// across ALL shards never exceeds what one fused batch was allowed to use
+// before.
+//
+// Determinism: a slot's RNG stream depends only on (request seed, slot
+// index), never on round composition, shard count, or admission grants —
+// so sharding is invisible in every request's output.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/status.h"
+#include "geometry/grid.h"
+#include "service/model_registry.h"
+
+namespace diffpattern::service {
+
+/// One queued sampling job. Slots [0, count) map 1:1 onto output
+/// topologies; each slot's noise comes from its own derived stream, so a
+/// job's output is invariant to how rounds chunk or fuse the slots.
+///
+/// Threading contract: between submit() and the completion of `done`, all
+/// mutable fields belong to the owning shard thread. The submitter may read
+/// them again once the future resolves (promise/future ordering publishes
+/// the writes). `on_slots_sampled` fires on the shard thread, with no
+/// scheduler locks held, strictly before `done` is fulfilled.
+struct SampleJob {
+  std::shared_ptr<const ModelArtifacts> artifacts;
+  std::int64_t count = 0;
+  std::uint64_t seed = 0;
+
+  /// Streaming hook: slots [begin, end) of this job finished sampling and
+  /// `grids[begin..end)` are valid. The streaming path uses it to start
+  /// legalization for those topologies immediately, while later rounds are
+  /// still sampling. May be empty (collect-all jobs).
+  std::function<void(std::int64_t begin, std::int64_t end)> on_slots_sampled;
+
+  /// Optional cancellation flag (owned by the submitter, who must keep it
+  /// alive until `done` resolves). When it reads true at round formation,
+  /// the job's remaining slots are abandoned and the job finishes with
+  /// UNAVAILABLE — the service sets it when a request is already failing
+  /// downstream, so a doomed request stops burning sampling rounds and
+  /// admission budget.
+  std::atomic<bool>* cancel = nullptr;
+
+  std::int64_t next_slot = 0;  // Slots already handed to a round.
+  std::int64_t done_slots = 0;
+  std::vector<geometry::BinaryGrid> grids;
+  double sampling_seconds = 0.0;
+  std::int64_t fused_batch_slots = 0;
+  common::Status error;
+  std::promise<void> done;
+  bool fulfilled = false;
+
+  void finish() {
+    if (!fulfilled) {
+      fulfilled = true;
+      done.set_value();
+    }
+  }
+};
+
+class BatchScheduler {
+ public:
+  /// `max_fused_batch` is the global admission budget (fused sampling slots
+  /// in flight across all shards); values < 1 are clamped to 1. `counters`
+  /// must outlive the scheduler.
+  BatchScheduler(std::int64_t max_fused_batch,
+                 common::CounterBlock& counters);
+  ~BatchScheduler();
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Installs a predicate consulted (under the scheduler lock) before a
+  /// shard is lazily spawned: when it returns false for the model name,
+  /// submit answers NOT_FOUND instead of creating a shard. The service
+  /// points this at ModelRegistry::contains, which closes the
+  /// respawn race with unregister: a true answer under the lock means the
+  /// registry erase has not completed yet, so the unregister hook's
+  /// remove_shard is still to come and will observe (and tear down) the
+  /// freshly spawned shard. Install before serving traffic.
+  void set_spawn_gate(std::function<bool(const std::string&)> gate);
+
+  /// Enqueues a job on the shard for job->artifacts->name, spawning the
+  /// shard on first use (subject to the spawn gate). UNAVAILABLE after
+  /// shutdown(); NOT_FOUND when the gate rejects a spawn.
+  common::Status submit(std::shared_ptr<SampleJob> job);
+
+  /// Tears down the model's shard: the shard finishes its queued jobs,
+  /// then its thread exits and is joined. No-op for models without a
+  /// shard. A later submit for the same name spawns a fresh shard.
+  void remove_shard(const std::string& model);
+
+  /// Live shards (also exported through the counters as shards_active).
+  std::int64_t shard_count() const;
+
+  /// Fails all queued jobs with UNAVAILABLE and joins every shard thread.
+  /// Subsequent submits are rejected. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Shard {
+    std::string model;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<SampleJob>> queue;
+    bool drain_and_stop = false;  // Unregister: finish queue, then exit.
+    std::thread thread;
+  };
+
+  void shard_loop(Shard& shard);
+  /// Runs one fused round for `shard`. Called with shard.mutex held; drops
+  /// it for sampling and re-acquires before returning.
+  void run_round(Shard& shard, std::unique_lock<std::mutex>& lock);
+
+  /// Blocks until at least one admission slot is free (or shutdown), then
+  /// takes min(wanted, available) slots. Returns 0 only on shutdown.
+  std::int64_t acquire_slots(std::int64_t wanted);
+  void release_slots(std::int64_t granted);
+
+  const std::int64_t max_fused_batch_;
+  common::CounterBlock& counters_;
+
+  mutable std::mutex shards_mutex_;
+  std::map<std::string, std::unique_ptr<Shard>> shards_;
+  std::function<bool(const std::string&)> spawn_gate_;
+  bool shutdown_requested_ = false;
+  /// Read by shard threads without shards_mutex_ (they must not take it).
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex budget_mutex_;
+  std::condition_variable budget_cv_;
+  std::int64_t available_slots_;
+};
+
+}  // namespace diffpattern::service

@@ -64,9 +64,9 @@ common::Status copy_parameters(const nn::ParamRegistry& src,
 common::Result<std::shared_ptr<ModelArtifacts>> build_artifacts(
     const std::string& name, const ModelConfig& config,
     legalize::DeltaLibrary library) {
-  if (name.empty()) {
-    return common::Status::InvalidArgument(
-        "register_model: model name must be non-empty");
+  const auto valid = common::validate_resource_name(name, "register_model");
+  if (!valid.ok()) {
+    return valid;
   }
   const auto folded = config.folded_side();
   if (!folded.ok()) {
@@ -143,11 +143,27 @@ common::Result<std::shared_ptr<const ModelArtifacts>> ModelRegistry::lookup(
 }
 
 common::Status ModelRegistry::unregister(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (models_.erase(name) == 0) {
-    return common::Status::NotFound("model '" + name + "' is not registered");
+  std::function<void(const std::string&)> hook;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (models_.erase(name) == 0) {
+      return common::Status::NotFound("model '" + name +
+                                      "' is not registered");
+    }
+    hook = unregister_hook_;
+  }
+  // Outside the lock: the hook joins the model's batcher shard, which may
+  // take as long as the shard's queued jobs.
+  if (hook) {
+    hook(name);
   }
   return common::Status::Ok();
+}
+
+void ModelRegistry::set_unregister_hook(
+    std::function<void(const std::string&)> hook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  unregister_hook_ = std::move(hook);
 }
 
 bool ModelRegistry::contains(const std::string& name) const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -62,7 +63,8 @@ struct ModelArtifacts {
 class ModelRegistry {
  public:
   /// Registers (or atomically replaces) `name`, copying `weights` into a
-  /// fresh U-Net instance. INVALID_ARGUMENT on empty name, inconsistent
+  /// fresh U-Net instance. INVALID_ARGUMENT on an empty/whitespace/control
+  /// -character name (common::validate_resource_name), inconsistent
   /// config, or weight name/shape mismatch with the config's architecture.
   common::Status register_model(const std::string& name,
                                 const ModelConfig& config,
@@ -84,9 +86,15 @@ class ModelRegistry {
   bool contains(const std::string& name) const;
   std::vector<std::string> names() const;
 
+  /// Installs a hook invoked after a successful unregister, with the
+  /// registry lock released (the hook may block). The PatternService uses
+  /// it to tear down the model's batcher shard. Pass nullptr to clear.
+  void set_unregister_hook(std::function<void(const std::string&)> hook);
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<const ModelArtifacts>> models_;
+  std::function<void(const std::string&)> unregister_hook_;
 };
 
 }  // namespace diffpattern::service

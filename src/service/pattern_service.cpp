@@ -12,62 +12,84 @@
 #include "common/compute_pool.h"
 #include "common/rng.h"
 #include "common/timer.h"
-#include "diffusion/diffusion.h"
-#include "layout/deep_squish.h"
 #include "legalize/constraints.h"
+#include "service/batch_scheduler.h"
 #include "service/worker_pool.h"
 
 namespace diffpattern::service {
 
 namespace {
 
-// Stream tags for common::derive_seed: each request stage owns a disjoint
-// RNG stream family keyed by (request seed, tag, index).
-constexpr std::uint64_t kSampleStream = 0x53414D50;    // "SAMP"
+// Stream tag for common::derive_seed: topology slot i of a request always
+// legalizes with derive_seed(seed, kLegalizeStream, i), independent of
+// worker scheduling or delivery order. (The sampling tag lives in the
+// BatchScheduler.)
 constexpr std::uint64_t kLegalizeStream = 0x4C45474C;  // "LEGL"
 
-common::Status exception_to_status(const std::exception& e) {
-  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
-    return common::Status::InvalidArgument(e.what());
-  }
-  return common::Status::Internal(e.what());
+/// Collect-all shape shared by generate() and legalize_topologies().
+GenerateResult assemble_result(GenerateStats stats,
+                               std::vector<StreamedPattern> slots) {
+  GenerateResult result;
+  result.stats = stats;
+  result.patterns = assemble_stream_patterns(std::move(slots));
+  return result;
 }
 
-/// One queued sampling request. Slots [0, count) map 1:1 onto output
-/// topologies; each slot's noise comes from its own derived stream, so a
-/// request's output is invariant to how rounds chunk or fuse the slots.
-struct SampleJob {
+/// Shared execution state for one request's legalization fan-out +
+/// streaming delivery. Worker tasks hold a shared_ptr; the issuing thread
+/// blocks until slots_done == slots_submitted, so `callback` (which lives
+/// on the issuer's stack) is never dangling when invoked.
+struct StreamExec {
   std::shared_ptr<const ModelArtifacts> artifacts;
-  std::int64_t count = 0;
+  drc::DesignRules rules;
+  std::int64_t geometries = 1;
   std::uint64_t seed = 0;
+  const StreamCallback* callback = nullptr;  // Null: no push deliveries.
+  /// Collect-all sink (generate / legalize_topologies): slots are MOVED
+  /// here instead of copied through the callback. Mutually exclusive with
+  /// `callback`.
+  std::vector<StreamedPattern>* collect = nullptr;
 
-  std::int64_t next_slot = 0;  // Slots already handed to a round.
-  std::int64_t done_slots = 0;
-  std::vector<geometry::BinaryGrid> grids;
-  double sampling_seconds = 0.0;
-  std::int64_t fused_batch_slots = 0;
-  common::Status error;
-  std::promise<void> done;
-  bool fulfilled = false;
+  /// Set (sticky) whenever first_error is assigned; the sampling job's
+  /// cancel flag points here so the shard stops sampling for a request
+  /// that is already failing.
+  std::atomic<bool> failed{false};
 
-  void finish(std::unique_lock<std::mutex>& /*held_queue_lock*/) {
-    if (!fulfilled) {
-      fulfilled = true;
-      done.set_value();
-    }
-  }
-};
+  /// Serializes callback invocations WITHOUT holding `mutex`: the shard
+  /// thread takes `mutex` in submit_slots, so a slow consumer callback
+  /// must never stall the next sampling round behind it.
+  std::mutex delivery_mutex;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::int64_t slots_submitted = 0;  // Legalization tasks handed to workers.
+  std::int64_t slots_done = 0;
+  GenerateStats stats;
+  common::Status first_error;
 
-/// Per-topology legalization outcome, assembled in slot order afterwards.
-struct LegalizeSlot {
-  bool prefiltered = false;
-  bool rejected = false;
-  std::vector<layout::SquishPattern> patterns;
-  std::int64_t rounds = 0;
-  common::Status error;
+  /// Wall-clock bookkeeping: solving_seconds spans first submit -> last
+  /// completion (legalization overlaps later sampling rounds now, so it is
+  /// no longer disjoint from sampling_seconds).
+  common::Timer timer;
+  double first_submit_s = -1.0;
+  double last_done_s = 0.0;
 };
 
 }  // namespace
+
+std::vector<layout::SquishPattern> assemble_stream_patterns(
+    std::vector<StreamedPattern> slots) {
+  std::sort(slots.begin(), slots.end(),
+            [](const StreamedPattern& a, const StreamedPattern& b) {
+              return a.index < b.index;
+            });
+  std::vector<layout::SquishPattern> patterns;
+  for (auto& slot : slots) {
+    for (auto& pattern : slot.patterns) {
+      patterns.push_back(std::move(pattern));
+    }
+  }
+  return patterns;
+}
 
 struct PatternService::Impl {
   static common::Status check_config(const ServiceConfig& cfg) {
@@ -99,35 +121,60 @@ struct PatternService::Impl {
   explicit Impl(ServiceConfig cfg)
       : config(cfg),
         config_error(check_config(cfg)),
-        workers(worker_count(cfg)) {
+        workers(worker_count(cfg)),
+        scheduler(cfg.max_fused_batch, counters) {
     if (config_error.ok() && cfg.compute_threads > 0) {
       config_error = common::set_global_compute_threads(cfg.compute_threads);
     }
     rule_sets["normal"] = drc::standard_rules();
     rule_sets["space"] = drc::larger_space_rules();
     rule_sets["area"] = drc::smaller_area_rules();
-    batcher = std::thread([this] { batcher_loop(); });
+    // Shards are per-model: tear one down the moment its model leaves the
+    // registry (in-flight jobs drain first), and never spawn one for a
+    // name the registry no longer holds (closes the submit/unregister
+    // race — see BatchScheduler::set_spawn_gate).
+    registry.set_unregister_hook(
+        [this](const std::string& name) { scheduler.remove_shard(name); });
+    scheduler.set_spawn_gate(
+        [this](const std::string& name) { return registry.contains(name); });
   }
 
   ~Impl() {
-    {
-      const std::lock_guard<std::mutex> lock(queue_mutex);
-      shutdown = true;
-    }
-    queue_cv.notify_all();
-    batcher.join();
+    registry.set_unregister_hook(nullptr);
+    // Stop the shards before `workers` is destroyed (member order below
+    // already guarantees it; shutting down explicitly keeps that
+    // dependency visible).
+    scheduler.shutdown();
+  }
+
+  /// Records every non-OK status answered to a caller (the rejects-by-code
+  /// counters), passing it through unchanged.
+  common::Status reject(common::Status status) {
+    counters.record_status(status);
+    return status;
   }
 
   common::Result<std::vector<geometry::BinaryGrid>> run_sampling(
       std::shared_ptr<const ModelArtifacts> artifacts, std::int64_t count,
       std::uint64_t seed, GenerateStats& stats);
-  common::Result<GenerateResult> run_legalization(
-      const ModelArtifacts& artifacts, const drc::DesignRules& rules,
-      const std::vector<geometry::BinaryGrid>& topologies,
-      std::int64_t geometries_per_topology, std::uint64_t seed,
-      GenerateStats stats);
-  void batcher_loop();
-  void run_round(std::unique_lock<std::mutex>& lock);
+  void legalize_slot(const std::shared_ptr<StreamExec>& exec,
+                     const geometry::BinaryGrid& topology, std::int64_t index);
+  void submit_slots(const std::shared_ptr<StreamExec>& exec,
+                    const SampleJob& job, std::int64_t begin,
+                    std::int64_t end);
+  /// Blocks until every submitted slot drained, then returns the request's
+  /// stats (topologies_requested += requested, solving_seconds from the
+  /// first-submit..last-done window) — or first_error if the fan-out or a
+  /// delivery failed. Shared tail of run_generate and legalize_topologies.
+  common::Result<GenerateStats> drain_exec(StreamExec& exec,
+                                           std::int64_t requested);
+  /// Exactly one of `callback` (push streaming) / `collect` (collect-all,
+  /// slots moved in) may be non-null; both null runs legalization with no
+  /// deliveries.
+  common::Result<GenerateStats> run_generate(
+      PatternService& service, const GenerateRequest& request,
+      const StreamCallback* callback,
+      std::vector<StreamedPattern>* collect);
 
   ServiceConfig config;
   /// Non-OK when the config was rejected (e.g. a zero-sized pool): every
@@ -138,179 +185,15 @@ struct PatternService::Impl {
   mutable std::mutex rules_mutex;
   std::map<std::string, drc::DesignRules> rule_sets;
 
+  common::CounterBlock counters;
+  /// Declared after `counters` and before `scheduler`: shard threads
+  /// submit into `workers`, so the pool must outlive the scheduler (C++
+  /// destroys members in reverse order).
   WorkerPool workers;
-
-  std::mutex queue_mutex;
-  std::condition_variable queue_cv;
-  std::deque<std::shared_ptr<SampleJob>> queue;
-  bool shutdown = false;
-  std::thread batcher;
+  BatchScheduler scheduler;
 };
 
-// ------------------------------------------------------------- batching
-
-void PatternService::Impl::batcher_loop() {
-  std::unique_lock<std::mutex> lock(queue_mutex);
-  for (;;) {
-    queue_cv.wait(lock, [this] { return shutdown || !queue.empty(); });
-    if (shutdown) {
-      for (auto& job : queue) {
-        job->error = common::Status::Unavailable(
-            "PatternService is shutting down");
-        job->finish(lock);
-      }
-      queue.clear();
-      return;
-    }
-    try {
-      run_round(lock);
-    } catch (...) {
-      // Last-ditch guard (e.g. bad_alloc building round bookkeeping): fail
-      // every queued request rather than terminating the batcher thread —
-      // no exception may cross the service boundary.
-      if (!lock.owns_lock()) {
-        lock.lock();  // run_round may throw from its unlocked section.
-      }
-      for (auto& job : queue) {
-        if (job->error.ok()) {
-          job->error =
-              common::Status::Internal("sampling round failed unexpectedly");
-        }
-        job->finish(lock);
-      }
-      queue.clear();
-    }
-  }
-}
-
-/// Pops up to max_fused_batch slots for ONE model off the queue, runs a
-/// single fused reverse-diffusion batch over them (dropping the lock for
-/// the duration), and completes any job whose slots are all sampled.
-void PatternService::Impl::run_round(std::unique_lock<std::mutex>& lock) {
-  struct RoundEntry {
-    std::shared_ptr<SampleJob> job;
-    std::int64_t slot_begin = 0;
-    std::int64_t slots = 0;
-  };
-  std::vector<RoundEntry> round;
-  const ModelArtifacts* model = nullptr;
-  std::shared_ptr<SampleJob> leftover;  // Partially-handed job, if any.
-  std::int64_t budget = std::max<std::int64_t>(1, config.max_fused_batch);
-  for (auto it = queue.begin(); it != queue.end() && budget > 0;) {
-    auto& job = *it;
-    if (model == nullptr) {
-      model = job->artifacts.get();
-    }
-    if (job->artifacts.get() != model) {
-      ++it;  // Different model; a later round picks it up.
-      continue;
-    }
-    const auto take = std::min(budget, job->count - job->next_slot);
-    round.push_back(RoundEntry{job, job->next_slot, take});
-    job->next_slot += take;
-    budget -= take;
-    if (job->next_slot == job->count) {
-      it = queue.erase(it);
-    } else {
-      leftover = job;
-      it = queue.erase(it);
-    }
-  }
-  if (round.empty()) {
-    return;
-  }
-  if (leftover != nullptr) {
-    // Requeue the unfinished job at the back so other jobs — including
-    // other models — get the next round instead of being head-of-line
-    // blocked by one oversized request. Per-slot RNG streams make the
-    // resulting round composition irrelevant to every job's output.
-    queue.push_back(std::move(leftover));
-  }
-
-  std::int64_t total_slots = 0;
-  for (const auto& entry : round) {
-    total_slots += entry.slots;
-  }
-
-  lock.unlock();
-  // Per-slot RNG streams: slot i of a request always gets
-  // derive_seed(seed, kSampleStream, i), independent of round composition.
-  std::vector<common::Rng> streams;
-  streams.reserve(static_cast<std::size_t>(total_slots));
-  for (const auto& entry : round) {
-    for (std::int64_t i = 0; i < entry.slots; ++i) {
-      streams.emplace_back(common::derive_seed(
-          entry.job->seed, kSampleStream,
-          static_cast<std::uint64_t>(entry.slot_begin + i)));
-    }
-  }
-  std::vector<common::Rng*> stream_ptrs;
-  stream_ptrs.reserve(streams.size());
-  for (auto& s : streams) {
-    stream_ptrs.push_back(&s);
-  }
-
-  common::Status round_error;
-  tensor::Tensor samples;
-  common::Timer timer;
-  const auto folded = model->config.folded_side();
-  if (!folded.ok()) {
-    round_error = folded.status();
-  } else {
-    try {
-      samples = diffusion::sample_streams(*model->model, *model->schedule,
-                                          *folded, *folded,
-                                          diffusion::SamplerConfig{},
-                                          stream_ptrs);
-    } catch (const std::exception& e) {
-      round_error = exception_to_status(e);
-    }
-  }
-  const double round_seconds = timer.seconds();
-
-  layout::DeepSquishConfig fold;
-  fold.channels = model->config.channels;
-  const auto per_slot = samples.numel() > 0 ? samples.numel() / total_slots
-                                            : 0;
-  std::int64_t cursor = 0;
-  lock.lock();
-  for (auto& entry : round) {
-    auto& job = *entry.job;
-    if (!round_error.ok()) {
-      if (job.error.ok()) {
-        job.error = round_error;
-      }
-      job.finish(lock);
-      cursor += entry.slots;
-      continue;
-    }
-    for (std::int64_t i = 0; i < entry.slots; ++i) {
-      tensor::Tensor one({model->config.channels, *folded, *folded});
-      std::copy(samples.data() + (cursor + i) * per_slot,
-                samples.data() + (cursor + i + 1) * per_slot, one.data());
-      job.grids[static_cast<std::size_t>(entry.slot_begin + i)] =
-          layout::unfold_topology(one, fold);
-    }
-    cursor += entry.slots;
-    job.done_slots += entry.slots;
-    job.sampling_seconds +=
-        round_seconds * static_cast<double>(entry.slots) /
-        static_cast<double>(total_slots);
-    job.fused_batch_slots = std::max(job.fused_batch_slots, total_slots);
-    if (job.done_slots == job.count) {
-      job.finish(lock);
-    }
-  }
-  if (!round_error.ok()) {
-    // Failed jobs may still hold unhanded slots in the queue; drop them so
-    // later rounds don't sample for an already-answered request.
-    queue.erase(std::remove_if(queue.begin(), queue.end(),
-                               [](const std::shared_ptr<SampleJob>& job) {
-                                 return !job->error.ok();
-                               }),
-                queue.end());
-  }
-}
+// ------------------------------------------------------------- sampling
 
 common::Result<std::vector<geometry::BinaryGrid>>
 PatternService::Impl::run_sampling(
@@ -322,14 +205,11 @@ PatternService::Impl::run_sampling(
   job->seed = seed;
   job->grids.resize(static_cast<std::size_t>(count));
   auto done = job->done.get_future();
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex);
-    if (shutdown) {
-      return common::Status::Unavailable("PatternService is shutting down");
-    }
-    queue.push_back(job);
+  const auto submitted = scheduler.submit(job);
+  if (!submitted.ok()) {
+    return submitted;
   }
-  queue_cv.notify_one();
+  counters.record_accepted();
   done.wait();
   if (!job->error.ok()) {
     return job->error;
@@ -340,129 +220,166 @@ PatternService::Impl::run_sampling(
   return std::move(job->grids);
 }
 
-// --------------------------------------------------------- legalization
+// --------------------------------------------- legalization + streaming
 
-common::Result<GenerateResult> PatternService::Impl::run_legalization(
-    const ModelArtifacts& artifacts, const drc::DesignRules& rules,
-    const std::vector<geometry::BinaryGrid>& topologies,
-    std::int64_t geometries_per_topology, std::uint64_t seed,
-    GenerateStats stats) {
-  const auto n = static_cast<std::int64_t>(topologies.size());
-  std::vector<LegalizeSlot> slots(static_cast<std::size_t>(n));
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::int64_t done_count = 0;
-
-  const auto* library =
-      artifacts.library.empty() ? nullptr : &artifacts.library;
-  const auto& config = artifacts.config;
-  common::Timer solve_timer;
-  for (std::int64_t i = 0; i < n; ++i) {
-    workers.submit([&, i] {
-      LegalizeSlot& slot = slots[static_cast<std::size_t>(i)];
-      try {
-        const auto& topology = topologies[static_cast<std::size_t>(i)];
-        if (legalize::prefilter_topology(topology) !=
-            legalize::PrefilterVerdict::ok) {
-          slot.prefiltered = true;
-        } else {
-          common::Rng rng(common::derive_seed(
-              seed, kLegalizeStream, static_cast<std::uint64_t>(i)));
-          if (geometries_per_topology == 1) {
-            auto result = legalize::legalize_topology(
-                topology, rules, config.tile, config.tile, config.solver,
-                rng, library);
-            slot.rounds = result.stats.rounds;
-            if (result.success) {
-              slot.patterns.push_back(std::move(result.pattern));
-            } else {
-              slot.rejected = true;
-            }
-          } else {
-            slot.patterns = legalize::legalize_topology_many(
-                topology, rules, config.tile, config.tile, config.solver,
-                geometries_per_topology, rng, library);
-            slot.rejected = slot.patterns.empty();
-          }
+/// Pre-filters and legalizes ONE topology, then (under the exec lock)
+/// folds the outcome into the request stats and delivers it through the
+/// stream callback. Runs on a worker-pool thread.
+void PatternService::Impl::legalize_slot(
+    const std::shared_ptr<StreamExec>& exec,
+    const geometry::BinaryGrid& topology, std::int64_t index) {
+  StreamedPattern out;
+  out.index = index;
+  std::int64_t rounds = 0;
+  common::Status error;
+  try {
+    if (legalize::prefilter_topology(topology) !=
+        legalize::PrefilterVerdict::ok) {
+      out.prefiltered = true;
+    } else {
+      const auto& cfg = exec->artifacts->config;
+      const auto* library = exec->artifacts->library.empty()
+                                ? nullptr
+                                : &exec->artifacts->library;
+      common::Rng rng(common::derive_seed(
+          exec->seed, kLegalizeStream, static_cast<std::uint64_t>(index)));
+      if (exec->geometries == 1) {
+        auto result =
+            legalize::legalize_topology(topology, exec->rules, cfg.tile,
+                                        cfg.tile, cfg.solver, rng, library);
+        rounds = result.stats.rounds;
+        if (result.success) {
+          out.patterns.push_back(std::move(result.pattern));
         }
-      } catch (const std::exception& e) {
-        slot.error = exception_to_status(e);
+      } else {
+        out.patterns = legalize::legalize_topology_many(
+            topology, exec->rules, cfg.tile, cfg.tile, cfg.solver,
+            exec->geometries, rng, library);
       }
-      {
-        const std::lock_guard<std::mutex> lock(done_mutex);
-        ++done_count;
+    }
+    out.legal = !out.patterns.empty();
+  } catch (const std::exception& e) {
+    error = common::exception_to_status(e);
+  }
+  // Deliveries are serialized by delivery_mutex alone; the stats mutex is
+  // only held for the bookkeeping so a slow consumer cannot stall the
+  // shard thread (which needs `mutex` to fan out the next round).
+  const std::lock_guard<std::mutex> delivery_lock(exec->delivery_mutex);
+  const auto fail_exec = [&exec](const common::Status& status) {
+    const std::lock_guard<std::mutex> lock(exec->mutex);
+    if (exec->first_error.ok()) {
+      exec->first_error = status;
+    }
+    exec->failed.store(true, std::memory_order_relaxed);
+  };
+  bool deliver = false;
+  {
+    const std::lock_guard<std::mutex> lock(exec->mutex);
+    if (!error.ok()) {
+      if (exec->first_error.ok()) {
+        exec->first_error = error;
       }
-      done_cv.notify_one();
-    });
+      exec->failed.store(true, std::memory_order_relaxed);
+    } else {
+      if (out.prefiltered) {
+        ++exec->stats.prefilter_rejected;
+      } else if (!out.legal) {
+        ++exec->stats.solver_rejected;
+      }
+      exec->stats.solver_rounds += rounds;
+      // No deliveries once the request is failing (the final status is an
+      // error; a partial stream must not keep growing past it).
+      deliver = (exec->callback != nullptr || exec->collect != nullptr) &&
+                exec->first_error.ok();
+    }
+  }
+  if (deliver) {
+    try {
+      if (exec->collect != nullptr) {
+        exec->collect->push_back(std::move(out));  // Collect-all: move.
+      } else {
+        (*exec->callback)(out);
+        // Only true push streams count as stream deliveries; collect-all
+        // requests would drown the stream-adoption signal otherwise.
+        counters.record_delivery(
+            static_cast<std::int64_t>(out.patterns.size()));
+      }
+    } catch (...) {
+      // A throwing consumer (or a failed collect allocation) fails the
+      // request instead of unwinding into the worker pool — no exception
+      // crosses the service boundary.
+      fail_exec(
+          common::Status::Internal("stream delivery threw an exception"));
+    }
   }
   {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return done_count == n; });
+    // slots_done AFTER the delivery: the issuing thread may destroy the
+    // callback the moment slots_done == slots_submitted.
+    const std::lock_guard<std::mutex> lock(exec->mutex);
+    ++exec->slots_done;
+    exec->last_done_s = exec->timer.seconds();
   }
-  stats.solving_seconds += solve_timer.seconds();
+  exec->cv.notify_all();
+}
 
-  GenerateResult result;
-  result.stats = stats;
-  result.stats.topologies_requested += n;
-  for (auto& slot : slots) {
-    if (!slot.error.ok()) {
-      return slot.error;
+common::Result<GenerateStats> PatternService::Impl::drain_exec(
+    StreamExec& exec, std::int64_t requested) {
+  std::unique_lock<std::mutex> lock(exec.mutex);
+  exec.cv.wait(lock,
+               [&] { return exec.slots_done == exec.slots_submitted; });
+  if (!exec.first_error.ok()) {
+    return exec.first_error;
+  }
+  GenerateStats stats = exec.stats;
+  stats.topologies_requested += requested;
+  if (exec.first_submit_s >= 0) {
+    stats.solving_seconds += exec.last_done_s - exec.first_submit_s;
+  }
+  return stats;
+}
+
+/// Fans slots [begin, end) of a sampled job out onto the worker pool.
+/// Called from the shard thread (streaming path) or the issuing thread
+/// (legalize_topologies). Copies each topology so the tasks never touch
+/// the job after its future resolves.
+void PatternService::Impl::submit_slots(
+    const std::shared_ptr<StreamExec>& exec, const SampleJob& job,
+    std::int64_t begin, std::int64_t end) {
+  {
+    const std::lock_guard<std::mutex> lock(exec->mutex);
+    if (exec->first_submit_s < 0) {
+      exec->first_submit_s = exec->timer.seconds();
     }
-    if (slot.prefiltered) {
-      ++result.stats.prefilter_rejected;
-    } else if (slot.rejected) {
-      ++result.stats.solver_rejected;
+    exec->slots_submitted += end - begin;
+  }
+  std::int64_t submitted = 0;
+  try {
+    for (std::int64_t i = begin; i < end; ++i) {
+      workers.submit(
+          [this, exec, topology = job.grids[static_cast<std::size_t>(i)],
+           i] { legalize_slot(exec, topology, i); });
+      ++submitted;
     }
-    result.stats.solver_rounds += slot.rounds;
-    for (auto& pattern : slot.patterns) {
-      result.patterns.push_back(std::move(pattern));
+  } catch (...) {
+    // bad_alloc building a task closure: account the unsubmittable slots
+    // as done-with-error so the drain wait (slots_done == slots_submitted)
+    // still converges and the caller gets a typed INTERNAL instead of a
+    // hang or an escaping exception.
+    {
+      const std::lock_guard<std::mutex> lock(exec->mutex);
+      if (exec->first_error.ok()) {
+        exec->first_error = common::Status::Internal(
+            "could not enqueue legalization for every sampled topology");
+      }
+      exec->failed.store(true, std::memory_order_relaxed);
+      exec->slots_done += (end - begin) - submitted;
+      exec->last_done_s = exec->timer.seconds();
     }
+    exec->cv.notify_all();
   }
-  return result;
 }
 
-// ------------------------------------------------------------ public API
-
-PatternService::PatternService(ServiceConfig config)
-    : impl_(std::make_unique<Impl>(config)) {}
-
-PatternService::~PatternService() = default;
-
-ModelRegistry& PatternService::models() { return impl_->registry; }
-
-const ServiceConfig& PatternService::config() const { return impl_->config; }
-
-common::Status PatternService::register_rule_set(
-    const std::string& name, const drc::DesignRules& rules) {
-  if (name.empty()) {
-    return common::Status::InvalidArgument(
-        "register_rule_set: name must be non-empty");
-  }
-  const std::lock_guard<std::mutex> lock(impl_->rules_mutex);
-  impl_->rule_sets[name] = rules;
-  return common::Status::Ok();
-}
-
-common::Result<drc::DesignRules> PatternService::rule_set(
-    const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(impl_->rules_mutex);
-  const auto it = impl_->rule_sets.find(name);
-  if (it == impl_->rule_sets.end()) {
-    return common::Status::NotFound("rule set '" + name +
-                                    "' is not registered");
-  }
-  return it->second;
-}
-
-std::vector<std::string> PatternService::rule_set_names() const {
-  const std::lock_guard<std::mutex> lock(impl_->rules_mutex);
-  std::vector<std::string> out;
-  out.reserve(impl_->rule_sets.size());
-  for (const auto& [name, rules] : impl_->rule_sets) {
-    out.push_back(name);
-  }
-  return out;
-}
+// ------------------------------------------------------ request pipeline
 
 namespace {
 
@@ -509,6 +426,141 @@ common::Status validate_common(const PatternService& service,
 
 }  // namespace
 
+/// The unified generation path: validate -> enqueue a sampling job on the
+/// model's shard -> as each fused round completes, fan the finished slots
+/// out to legalization -> deliver each slot through `callback` the moment
+/// it clears. generate() layers collect-all on top; generate_stream
+/// passes the caller's callback straight through.
+common::Result<GenerateStats> PatternService::Impl::run_generate(
+    PatternService& service, const GenerateRequest& request,
+    const StreamCallback* callback, std::vector<StreamedPattern>* collect) {
+  if (!config_error.ok()) {
+    return reject(config_error);
+  }
+  const auto valid = validate_common(service, config, registry, request.model,
+                                     request.count,
+                                     request.geometries_per_topology,
+                                     request.rule_set);
+  if (!valid.ok()) {
+    return reject(valid);
+  }
+  auto artifacts = registry.lookup(request.model);
+  if (!artifacts.ok()) {
+    return reject(artifacts.status());  // Raced an unregister.
+  }
+  drc::DesignRules rules = (*artifacts)->config.rules;
+  if (!request.rule_set.empty()) {
+    auto named = service.rule_set(request.rule_set);
+    if (!named.ok()) {
+      return reject(named.status());
+    }
+    rules = std::move(named).value();
+  }
+
+  auto exec = std::make_shared<StreamExec>();
+  exec->artifacts = *artifacts;
+  exec->rules = std::move(rules);
+  exec->geometries = request.geometries_per_topology;
+  exec->seed = request.seed;
+  exec->callback = callback;
+  exec->collect = collect;
+
+  auto job = std::make_shared<SampleJob>();
+  job->artifacts = *artifacts;
+  job->count = request.count;
+  job->seed = request.seed;
+  job->grids.resize(static_cast<std::size_t>(request.count));
+  // Once the request fails downstream (legalization error, throwing
+  // consumer), remaining sampling rounds are wasted work: let the shard
+  // abandon them. `exec` outlives the job's future, so the pointer stays
+  // valid for as long as the scheduler may read it.
+  job->cancel = &exec->failed;
+  // The hook fires on the shard thread strictly before the job's future
+  // resolves, so slots_submitted is final once `done` is ready. The raw
+  // job pointer stays valid: this frame owns the shared_ptr until return.
+  job->on_slots_sampled = [this, exec, raw = job.get()](std::int64_t begin,
+                                                        std::int64_t end) {
+    submit_slots(exec, *raw, begin, end);
+  };
+
+  auto done = job->done.get_future();
+  const auto submitted = scheduler.submit(job);
+  if (!submitted.ok()) {
+    return reject(submitted);
+  }
+  // Accepted = admitted for execution (a shard holds the job now); a
+  // rejected submit above is counted only in rejects_by_code.
+  counters.record_accepted();
+  done.wait();
+
+  // Drain the legalization fan-out (slots submitted before a sampling
+  // error still run) before touching the final stats. first_error (from
+  // drain_exec) outranks job->error: when the scheduler abandoned the job
+  // BECAUSE this request failed downstream, the downstream failure is the
+  // answer, not the cancellation's UNAVAILABLE.
+  auto drained = drain_exec(*exec, request.count);
+  if (!drained.ok()) {
+    return reject(drained.status());
+  }
+  if (!job->error.ok()) {
+    return reject(job->error);
+  }
+  GenerateStats stats = std::move(drained).value();
+  stats.sampling_seconds += job->sampling_seconds;
+  stats.fused_batch_slots =
+      std::max(stats.fused_batch_slots, job->fused_batch_slots);
+  counters.record_completed();
+  return stats;
+}
+
+// ------------------------------------------------------------ public API
+
+PatternService::PatternService(ServiceConfig config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+PatternService::~PatternService() = default;
+
+ModelRegistry& PatternService::models() { return impl_->registry; }
+
+const ServiceConfig& PatternService::config() const { return impl_->config; }
+
+common::ServiceCounters PatternService::counters() const {
+  return impl_->counters.snapshot(
+      std::max<std::int64_t>(1, impl_->config.max_fused_batch));
+}
+
+common::Status PatternService::register_rule_set(
+    const std::string& name, const drc::DesignRules& rules) {
+  const auto valid = common::validate_resource_name(name, "register_rule_set");
+  if (!valid.ok()) {
+    return impl_->reject(valid);
+  }
+  const std::lock_guard<std::mutex> lock(impl_->rules_mutex);
+  impl_->rule_sets[name] = rules;
+  return common::Status::Ok();
+}
+
+common::Result<drc::DesignRules> PatternService::rule_set(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(impl_->rules_mutex);
+  const auto it = impl_->rule_sets.find(name);
+  if (it == impl_->rule_sets.end()) {
+    return common::Status::NotFound("rule set '" + name +
+                                    "' is not registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> PatternService::rule_set_names() const {
+  const std::lock_guard<std::mutex> lock(impl_->rules_mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->rule_sets.size());
+  for (const auto& [name, rules] : impl_->rule_sets) {
+    out.push_back(name);
+  }
+  return out;
+}
+
 common::Status PatternService::validate(
     const GenerateRequest& request) const {
   if (!impl_->config_error.ok()) {
@@ -521,72 +573,153 @@ common::Status PatternService::validate(
 
 common::Result<GenerateResult> PatternService::generate(
     const GenerateRequest& request) {
-  const auto valid = validate(request);
-  if (!valid.ok()) {
-    return valid;
+  // Collect-all wrapper over the streaming path: slots are moved into the
+  // buffer as they clear, then ordered by topology index so a given seed
+  // reproduces an identical vector regardless of delivery order.
+  std::vector<StreamedPattern> slots;
+  auto stats =
+      impl_->run_generate(*this, request, /*callback=*/nullptr, &slots);
+  if (!stats.ok()) {
+    return stats.status();
   }
-  auto artifacts = impl_->registry.lookup(request.model);
-  if (!artifacts.ok()) {
-    return artifacts.status();
-  }
-  drc::DesignRules rules = (*artifacts)->config.rules;
-  if (!request.rule_set.empty()) {
-    auto named = rule_set(request.rule_set);
-    if (!named.ok()) {
-      return named.status();
-    }
-    rules = std::move(named).value();
-  }
-  GenerateStats stats;
-  auto grids = impl_->run_sampling(*artifacts, request.count, request.seed,
-                                   stats);
-  if (!grids.ok()) {
-    return grids.status();
-  }
-  return impl_->run_legalization(**artifacts, rules, *grids,
-                                 request.geometries_per_topology,
-                                 request.seed, stats);
+  return assemble_result(std::move(stats).value(), std::move(slots));
 }
+
+common::Result<GenerateStats> PatternService::generate_stream(
+    const GenerateRequest& request, const StreamCallback& callback) {
+  return impl_->run_generate(*this, request, &callback,
+                             /*collect=*/nullptr);
+}
+
+// ------------------------------------------------------- pull streaming
+
+struct StreamHandle::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<StreamedPattern> items;
+  bool done = false;
+  common::Status status;
+  GenerateStats stats;
+  std::thread driver;
+};
+
+StreamHandle::StreamHandle(std::shared_ptr<State> state)
+    : state_(std::move(state)) {}
+
+StreamHandle::StreamHandle(StreamHandle&&) noexcept = default;
+
+StreamHandle& StreamHandle::operator=(StreamHandle&& other) noexcept {
+  if (this != &other) {
+    // Like the destructor: a still-running stream must be joined before
+    // its State is released, or ~State would destroy a joinable thread.
+    if (state_ != nullptr && state_->driver.joinable()) {
+      state_->driver.join();
+    }
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+StreamHandle::~StreamHandle() {
+  if (state_ != nullptr && state_->driver.joinable()) {
+    state_->driver.join();
+  }
+}
+
+std::optional<StreamedPattern> StreamHandle::next() {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock,
+                  [&] { return state_->done || !state_->items.empty(); });
+  if (state_->items.empty()) {
+    return std::nullopt;
+  }
+  StreamedPattern out = std::move(state_->items.front());
+  state_->items.pop_front();
+  return out;
+}
+
+common::Result<GenerateStats> StreamHandle::finish() {
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    if (!state_->status.ok()) {
+      return state_->status;
+    }
+  }
+  if (state_->driver.joinable()) {
+    state_->driver.join();
+  }
+  return state_->stats;
+}
+
+StreamHandle PatternService::generate_stream(const GenerateRequest& request) {
+  auto state = std::make_shared<StreamHandle::State>();
+  state->driver = std::thread([this, request, state] {
+    auto result =
+        generate_stream(request, [&state](const StreamedPattern& pattern) {
+          {
+            const std::lock_guard<std::mutex> lock(state->mutex);
+            state->items.push_back(pattern);
+          }
+          state->cv.notify_all();
+        });
+    {
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      if (result.ok()) {
+        state->stats = std::move(result).value();
+      } else {
+        state->status = result.status();
+      }
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+  return StreamHandle(std::move(state));
+}
+
+// ----------------------------------------------------- other entry points
 
 common::Result<SampleTopologiesResult> PatternService::sample_topologies(
     const SampleTopologiesRequest& request) {
   if (!impl_->config_error.ok()) {
-    return impl_->config_error;
+    return impl_->reject(impl_->config_error);
   }
   const auto valid =
       validate_common(*this, impl_->config, impl_->registry, request.model,
                       request.count, /*geometries=*/1, /*rule_set=*/"");
   if (!valid.ok()) {
-    return valid;
+    return impl_->reject(valid);
   }
   auto artifacts = impl_->registry.lookup(request.model);
   if (!artifacts.ok()) {
-    return artifacts.status();
+    return impl_->reject(artifacts.status());
   }
   SampleTopologiesResult result;
+  // run_sampling records acceptance once its job is admitted to a shard.
   auto grids = impl_->run_sampling(*artifacts, request.count, request.seed,
                                    result.stats);
   if (!grids.ok()) {
-    return grids.status();
+    return impl_->reject(grids.status());
   }
   result.topologies = std::move(grids).value();
   result.stats.topologies_requested = request.count;
+  impl_->counters.record_completed();
   return result;
 }
 
 common::Result<GenerateResult> PatternService::legalize_topologies(
     const LegalizeTopologiesRequest& request) {
   if (!impl_->config_error.ok()) {
-    return impl_->config_error;
+    return impl_->reject(impl_->config_error);
   }
   if (request.topologies.empty()) {
-    return common::Status::InvalidArgument(
-        "legalize_topologies: no topologies supplied");
+    return impl_->reject(common::Status::InvalidArgument(
+        "legalize_topologies: no topologies supplied"));
   }
   for (const auto& t : request.topologies) {
     if (t.empty()) {
-      return common::Status::InvalidArgument(
-          "legalize_topologies: empty topology grid");
+      return impl_->reject(common::Status::InvalidArgument(
+          "legalize_topologies: empty topology grid"));
     }
   }
   const auto valid = validate_common(
@@ -594,23 +727,42 @@ common::Result<GenerateResult> PatternService::legalize_topologies(
       static_cast<std::int64_t>(request.topologies.size()),
       request.geometries_per_topology, request.rule_set);
   if (!valid.ok()) {
-    return valid;
+    return impl_->reject(valid);
   }
   auto artifacts = impl_->registry.lookup(request.model);
   if (!artifacts.ok()) {
-    return artifacts.status();
+    return impl_->reject(artifacts.status());
   }
   drc::DesignRules rules = (*artifacts)->config.rules;
   if (!request.rule_set.empty()) {
     auto named = rule_set(request.rule_set);
     if (!named.ok()) {
-      return named.status();
+      return impl_->reject(named.status());
     }
     rules = std::move(named).value();
   }
-  return impl_->run_legalization(**artifacts, rules, request.topologies,
-                                 request.geometries_per_topology,
-                                 request.seed, GenerateStats{});
+  impl_->counters.record_accepted();
+
+  const auto n = static_cast<std::int64_t>(request.topologies.size());
+  std::vector<StreamedPattern> slots;
+  auto exec = std::make_shared<StreamExec>();
+  exec->artifacts = *artifacts;
+  exec->rules = std::move(rules);
+  exec->geometries = request.geometries_per_topology;
+  exec->seed = request.seed;
+  exec->collect = &slots;
+  // Reuse the streaming fan-out with a pre-sampled "job": caller-supplied
+  // topologies stand in for sampled grids.
+  SampleJob job;
+  job.grids = request.topologies;
+  impl_->submit_slots(exec, job, 0, n);
+
+  auto drained = impl_->drain_exec(*exec, n);
+  if (!drained.ok()) {
+    return impl_->reject(drained.status());
+  }
+  impl_->counters.record_completed();
+  return assemble_result(std::move(drained).value(), std::move(slots));
 }
 
 }  // namespace diffpattern::service

@@ -1,8 +1,9 @@
 // PatternService — the service-oriented entry point for pattern generation.
 //
 // The service owns trained model artifacts (ModelRegistry), a named rule-set
-// table, a sampling batcher thread, and a legalization worker pool. Callers
-// issue typed requests from any thread:
+// table, a sharded sampling scheduler (one batcher shard per registered
+// model), and a legalization worker pool. Callers issue typed requests from
+// any thread:
 //
 //   PatternService service;
 //   service.models().register_model("prod", config, trained.registry(), lib);
@@ -10,15 +11,24 @@
 //   if (!result.ok()) { ... result.status() ... }
 //
 // Execution model:
-//   * Reverse diffusion for concurrently queued requests of the same model
-//     is fused into one batch per denoising round, amortizing the U-Net
-//     forward passes (the dominant cost) across requests.
-//   * Pre-filter + white-box legalization then fan out per-topology onto the
-//     worker pool.
+//   * Each registered model gets its own batcher shard (spawned lazily on
+//     first request, torn down on unregister): reverse diffusion for
+//     concurrently queued requests of that model is fused into one batch
+//     per denoising round. Shards run independently — heavy traffic on one
+//     model never head-of-line blocks another — while a shared admission
+//     budget caps the fused slots in flight across ALL shards at
+//     max_fused_batch (bounding peak activation memory).
+//   * Pre-filter + white-box legalization fan out per-topology onto the
+//     worker pool as soon as each slot's sampling round completes; the
+//     streaming API (generate_stream) delivers every pattern the moment
+//     its topology clears legalization, and generate() is a thin
+//     collect-all wrapper over the same path.
 //   * Every request stage draws from RNG streams derived from the request
 //     seed (common::derive_seed), so a given (model, seed) reproduces
-//     byte-identical patterns regardless of concurrency, batch fusion, or
-//     worker scheduling.
+//     byte-identical patterns regardless of concurrency, shard count,
+//     batch fusion, or worker scheduling.
+//   * Service-level counters (queue depth, rounds, shard occupancy, fill
+//     ratio, deliveries, rejects by code) are exported via counters().
 //
 // No exception crosses this API: all fallible paths return Status / a
 // Result<T> with a typed StatusCode.
@@ -26,9 +36,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/counters.h"
 #include "common/status.h"
 #include "drc/rules.h"
 #include "service/model_registry.h"
@@ -50,13 +62,45 @@ struct ServiceConfig {
   /// rejected like legalize_workers. Note the pool is shared by every
   /// service in the process — the last explicit sizing wins.
   std::int64_t compute_threads = -1;
-  /// Upper bound on sampling slots fused into one reverse-diffusion batch
-  /// (bounds peak activation memory; larger requests run in chunks).
+  /// Global admission budget: upper bound on sampling slots fused into
+  /// reverse-diffusion batches across ALL model shards at once (bounds
+  /// peak activation memory; larger requests run in chunks).
   std::int64_t max_fused_batch = 64;
   /// Per-request topology cap; larger counts are INVALID_ARGUMENT.
   std::int64_t max_count = 4096;
   /// Per-request geometries-per-topology cap.
   std::int64_t max_geometries = 256;
+};
+
+/// Pull-side handle for a streamed generation request (see
+/// PatternService::generate_stream). The request runs in the background;
+/// next() hands out deliveries as they arrive and finish() reports the
+/// final status + stats. The handle must not outlive its PatternService.
+/// Destroying it blocks until the request completes (deliveries not yet
+/// pulled are discarded).
+class StreamHandle {
+ public:
+  StreamHandle(StreamHandle&&) noexcept;
+  StreamHandle& operator=(StreamHandle&&) noexcept;
+  StreamHandle(const StreamHandle&) = delete;
+  StreamHandle& operator=(const StreamHandle&) = delete;
+  ~StreamHandle();
+
+  /// Blocks until the next delivery (or the end of the stream). Returns
+  /// nullopt once every delivered slot has been pulled and the request
+  /// finished — check finish() for the final status then.
+  std::optional<StreamedPattern> next();
+
+  /// Blocks until the request completes; returns the final status with the
+  /// request's stats. Deliveries still buffered remain pullable via
+  /// next(). Safe to call repeatedly.
+  common::Result<GenerateStats> finish();
+
+ private:
+  friend class PatternService;
+  struct State;
+  explicit StreamHandle(std::shared_ptr<State> state);
+  std::shared_ptr<State> state_;
 };
 
 class PatternService {
@@ -68,6 +112,10 @@ class PatternService {
 
   ModelRegistry& models();
   const ServiceConfig& config() const;
+
+  /// Snapshot of the service-level counters (queue depth, shard occupancy,
+  /// rounds, fused fill ratio, stream deliveries, rejects by StatusCode).
+  common::ServiceCounters counters() const;
 
   /// Named rule decks; "normal", "space", and "area" (the paper's Table I
   /// rows) are pre-registered. Re-registering a name replaces it (hot
@@ -82,8 +130,24 @@ class PatternService {
   common::Status validate(const GenerateRequest& request) const;
 
   /// Full generation (sample -> pre-filter -> legalize). Blocks until the
-  /// request completes; thread-safe, and concurrent calls batch together.
+  /// request completes; thread-safe, and concurrent calls for the same
+  /// model batch together on its shard. Collect-all wrapper over the
+  /// streaming path.
   common::Result<GenerateResult> generate(const GenerateRequest& request);
+
+  /// Push streaming: runs the same pipeline as generate() but invokes
+  /// `callback` for every topology slot the moment it clears (or is
+  /// rejected by) legalization — legalization of early sampling rounds
+  /// overlaps later rounds' sampling. Calls are serialized; arrival order
+  /// may vary, content and indices may not. Blocks until the request
+  /// completes and returns the final stats.
+  common::Result<GenerateStats> generate_stream(
+      const GenerateRequest& request, const StreamCallback& callback);
+
+  /// Pull streaming: same pipeline, but deliveries are buffered behind a
+  /// handle the caller drains at its own pace while the request keeps
+  /// running in the background.
+  StreamHandle generate_stream(const GenerateRequest& request);
 
   /// Topology sampling only.
   common::Result<SampleTopologiesResult> sample_topologies(

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,35 @@ struct LegalizeTopologiesRequest {
   std::string rule_set;
   std::uint64_t seed = 0;
 };
+
+/// One streaming delivery: the legalization outcome for topology slot
+/// `index` of a GenerateRequest, pushed the moment that topology clears
+/// (or is rejected by) legalization. Arrival ORDER may vary with worker
+/// scheduling, but the delivered set is deterministic: for a given
+/// (model, seed), the (index, patterns) pairs are byte-identical to the
+/// corresponding generate() output, invariant to shard count, round
+/// chunking, and callback timing.
+struct StreamedPattern {
+  std::int64_t index = 0;      ///< Topology slot in [0, request.count).
+  bool legal = false;          ///< True iff `patterns` is non-empty.
+  bool prefiltered = false;    ///< Rejected by the pre-filter (Sec. III-D).
+  /// DRC-clean patterns for this topology (geometries_per_topology many at
+  /// most); empty when the slot was pre-filtered or unsolvable.
+  std::vector<layout::SquishPattern> patterns;
+};
+
+/// Invoked once per topology slot. Calls are serialized (never concurrent)
+/// but may arrive on different worker threads; the callback must not call
+/// back into the PatternService. A callback that throws fails the request
+/// with INTERNAL (remaining slots are not delivered).
+using StreamCallback = std::function<void(const StreamedPattern&)>;
+
+/// Orders streamed deliveries by topology index and flattens their
+/// patterns — the collect-all shape of GenerateResult::patterns. Stream
+/// consumers (and the CLI) use this to reassemble a vector byte-identical
+/// to what generate() would have returned for the same request.
+std::vector<layout::SquishPattern> assemble_stream_patterns(
+    std::vector<StreamedPattern> slots);
 
 struct GenerateStats {
   std::int64_t topologies_requested = 0;

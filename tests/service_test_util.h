@@ -1,0 +1,41 @@
+// Shared fixtures for the PatternService test suites: the "mini" model
+// configuration every service test registers (small enough that untrained
+// sampling stays fast) and byte-level pattern equality. Single-sourced so
+// the two suites can never drift on what the mini model means.
+#pragma once
+
+#include <vector>
+
+#include "layout/squish.h"
+#include "service/pattern_service.h"
+
+namespace diffpattern::service::test {
+
+inline ModelConfig mini_model_config() {
+  ModelConfig cfg;
+  cfg.grid_side = 16;
+  cfg.channels = 4;
+  cfg.schedule = {.steps = 6, .beta_start = 0.01, .beta_end = 0.5};
+  cfg.model_channels = 8;
+  cfg.channel_mult = {1, 2};
+  cfg.num_res_blocks = 1;
+  cfg.attention_levels = {};
+  cfg.dropout = 0.0F;
+  return cfg;
+}
+
+inline bool same_patterns(const std::vector<layout::SquishPattern>& a,
+                          const std::vector<layout::SquishPattern>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].topology == b[i].topology && a[i].dx == b[i].dx &&
+          a[i].dy == b[i].dy)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace diffpattern::service::test

@@ -8,6 +8,7 @@
 
 #include "drc/checker.h"
 #include "service/pattern_service.h"
+#include "service_test_util.h"
 #include "unet/unet.h"
 
 namespace ds = diffpattern::service;
@@ -17,18 +18,8 @@ namespace dl = diffpattern::layout;
 
 namespace {
 
-ds::ModelConfig mini_model_config() {
-  ds::ModelConfig cfg;
-  cfg.grid_side = 16;
-  cfg.channels = 4;
-  cfg.schedule = {.steps = 6, .beta_start = 0.01, .beta_end = 0.5};
-  cfg.model_channels = 8;
-  cfg.channel_mult = {1, 2};
-  cfg.num_res_blocks = 1;
-  cfg.attention_levels = {};
-  cfg.dropout = 0.0F;
-  return cfg;
-}
+using ds::test::mini_model_config;
+using ds::test::same_patterns;
 
 /// Service with an (untrained) model registered as "mini". Untrained
 /// weights are fine for API tests: the white-box assessment still only
@@ -49,20 +40,6 @@ class PatternServiceTest : public ::testing::Test {
   diffpattern::unet::UNet model_;
   std::unique_ptr<ds::PatternService> service_;
 };
-
-bool same_patterns(const std::vector<dl::SquishPattern>& a,
-                   const std::vector<dl::SquishPattern>& b) {
-  if (a.size() != b.size()) {
-    return false;
-  }
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (!(a[i].topology == b[i].topology && a[i].dx == b[i].dx &&
-          a[i].dy == b[i].dy)) {
-      return false;
-    }
-  }
-  return true;
-}
 
 }  // namespace
 
@@ -186,6 +163,29 @@ TEST_F(PatternServiceTest, RegistryRejectsBadConfigs) {
                                 {})
                 .code(),
             dc::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PatternServiceTest, RegistryRejectsEmptyAndUnprintableNames) {
+  // Regression: registration surfaces must reject names that would become
+  // unreachable or shadowed registry keys — empty, whitespace-padded, or
+  // holding control characters (common::validate_resource_name).
+  const std::vector<std::string> bad_names = {
+      "", " ", " padded", "padded ", "a\tb", std::string("nul\0byte", 8),
+      "line\nbreak"};
+  for (const std::string& bad : bad_names) {
+    EXPECT_EQ(service_->models()
+                  .register_model(bad, mini_model_config(),
+                                  model_.registry(), {})
+                  .code(),
+              dc::StatusCode::kInvalidArgument)
+        << "model name accepted: '" << bad << "'";
+    EXPECT_EQ(service_->register_rule_set(bad, dd::standard_rules()).code(),
+              dc::StatusCode::kInvalidArgument)
+        << "rule-set name accepted: '" << bad << "'";
+  }
+  // Interior spaces are legitimate.
+  EXPECT_TRUE(service_->register_rule_set("euv beta",
+                                          dd::standard_rules()).ok());
 }
 
 TEST_F(PatternServiceTest, RegistryRejectsMismatchedWeights) {

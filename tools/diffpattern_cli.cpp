@@ -3,6 +3,7 @@
 //   diffpattern_cli train    --out model.ckpt [--iters N] [--tiles N] [--seed S]
 //   diffpattern_cli generate --model model.ckpt --out library.bin
 //                            [--count N] [--geometries N] [--rules normal|space|area]
+//                            [--stream] [--stats]
 //   diffpattern_cli evaluate --library library.bin [--rules normal|space|area]
 //   diffpattern_cli render   --library library.bin --out-dir DIR [--limit N]
 //
@@ -10,13 +11,17 @@
 // checkpoint that `generate` reloads, and `generate` emits a pattern
 // library that `evaluate`/`render` consume. Every subcommand accepts
 // `--threads N` to size the tensor compute pool (default: the
-// DIFFPATTERN_THREADS env var, else hardware concurrency). Exit code 0 on
-// success, 1 on usage errors, 2 on runtime failures.
+// DIFFPATTERN_THREADS env var, else hardware concurrency). `generate
+// --stream` prints every pattern (index + legality) the moment it clears
+// legalization; `--stats` dumps the service counters after the run. Exit
+// code 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <algorithm>
 #include <charconv>
 #include <iostream>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/compute_pool.h"
 #include "core/pipeline.h"
@@ -65,12 +70,15 @@ int usage() {
       "  train    --out model.ckpt [--iters N] [--tiles N] [--seed S]\n"
       "  generate --model model.ckpt --out library.bin [--count N]\n"
       "           [--geometries N] [--rules normal|space|area] [--seed S]\n"
+      "           [--stream] [--stats]\n"
       "  evaluate --library library.bin [--rules normal|space|area]\n"
       "  render   --library library.bin --out-dir DIR [--limit N]\n"
       "  export-gds --library library.bin --out patterns.gds [--layer N]\n\n"
       "Every subcommand accepts --threads N to size the compute pool used\n"
       "by the numeric kernels (default: DIFFPATTERN_THREADS env, else all\n"
-      "hardware threads). Results are identical for every thread count.\n";
+      "hardware threads). Results are identical for every thread count.\n"
+      "generate --stream prints each pattern (index + legality) as it is\n"
+      "delivered; --stats dumps the service counters after the run.\n";
   return 1;
 }
 
@@ -162,18 +170,55 @@ int cmd_generate(const Args& args) {
   request.seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
   std::cout << "generating " << request.count << " topologies (x"
             << request.geometries_per_topology << " geometries, rules '"
-            << request.rule_set << "', seed " << request.seed << ")...\n";
-  const auto result = pipeline.service().generate(request);
-  if (!result.ok()) {
-    std::cerr << "generate: " << result.status().to_string() << "\n";
-    return result.status().code() == dp::common::StatusCode::kInternal ? 2
-                                                                       : 1;
+            << request.rule_set << "', seed " << request.seed << ")"
+            << (args.has("stream") ? ", streaming" : "") << "...\n";
+  auto& service = pipeline.service();
+  dp::service::GenerateResult result;
+  if (args.has("stream")) {
+    // Streamed delivery: print each topology the moment it clears (or is
+    // rejected by) legalization, collecting everything for the library
+    // write below. Delivery order varies with scheduling; the collected
+    // set (and the library bytes, written in index order) do not.
+    std::vector<dp::service::StreamedPattern> slots;
+    auto stats = service.generate_stream(
+        request, [&slots](const dp::service::StreamedPattern& pattern) {
+          std::cout << "  pattern " << pattern.index << ": "
+                    << (pattern.legal
+                            ? "legal (" +
+                                  std::to_string(pattern.patterns.size()) +
+                                  " geometr" +
+                                  (pattern.patterns.size() == 1 ? "y)"
+                                                                : "ies)")
+                        : pattern.prefiltered ? "pre-filtered"
+                                              : "unsolvable")
+                    << "\n";
+          slots.push_back(pattern);
+        });
+    if (!stats.ok()) {
+      std::cerr << "generate: " << stats.status().to_string() << "\n";
+      return stats.status().code() == dp::common::StatusCode::kInternal ? 2
+                                                                        : 1;
+    }
+    result.stats = std::move(stats).value();
+    result.patterns = dp::service::assemble_stream_patterns(std::move(slots));
+  } else {
+    auto generated = service.generate(request);
+    if (!generated.ok()) {
+      std::cerr << "generate: " << generated.status().to_string() << "\n";
+      return generated.status().code() == dp::common::StatusCode::kInternal
+                 ? 2
+                 : 1;
+    }
+    result = std::move(generated).value();
   }
-  std::cout << "emitted " << result->patterns.size() << " legal patterns ("
-            << result->stats.prefilter_rejected << " pre-filtered, "
-            << result->stats.solver_rejected << " unsolvable)\n";
-  dp::io::save_pattern_library(args.get("out", ""), result->patterns);
+  std::cout << "emitted " << result.patterns.size() << " legal patterns ("
+            << result.stats.prefilter_rejected << " pre-filtered, "
+            << result.stats.solver_rejected << " unsolvable)\n";
+  dp::io::save_pattern_library(args.get("out", ""), result.patterns);
   std::cout << "library written to " << args.get("out", "") << "\n";
+  if (args.has("stats")) {
+    std::cout << service.counters().to_string();
+  }
   return 0;
 }
 
@@ -237,13 +282,22 @@ int main(int argc, char** argv) {
   }
   Args args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  // Options are --key value pairs; a --key followed by another option (or
+  // the end of the line) is a boolean flag, e.g. --stream / --stats.
+  for (int i = 2; i < argc;) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) {
-      std::cerr << "expected --option value pairs, got '" << key << "'\n";
+      std::cerr << "expected --option [value] arguments, got '" << key
+                << "'\n";
       return 1;
     }
-    args.options[key.substr(2)] = argv[i + 1];
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key.substr(2)] = argv[i + 1];
+      i += 2;
+    } else {
+      args.options[key.substr(2)] = "";
+      i += 1;
+    }
   }
   try {
     apply_thread_option(args);
