@@ -15,7 +15,10 @@ std::int64_t ServiceCounters::total_rejected() const {
 std::string ServiceCounters::to_string() const {
   std::ostringstream out;
   out << "service counters:\n"
-      << "  queue_depth:        " << queue_depth << "\n"
+      << "  queue_depth:        " << queue_depth << " (peak "
+      << queue_depth_peak << ")\n"
+      << "  admission_pending:  " << admission_pending << " (peak "
+      << admission_pending_peak << ")\n"
       << "  shards_active:      " << shards_active << "\n"
       << "  shards_spawned:     " << shards_spawned << "\n"
       << "  rounds_executed:    " << rounds_executed << "\n"
@@ -27,6 +30,12 @@ std::string ServiceCounters::to_string() const {
       << "  requests_completed: " << requests_completed << "\n"
       << "  stream_deliveries:  " << stream_deliveries << "\n"
       << "  patterns_delivered: " << patterns_delivered << "\n"
+      << "  requests_shed:      " << requests_shed << "\n"
+      << "  requests_degraded:  " << requests_degraded << "\n"
+      << "  deadlines_expired:  " << deadlines_expired << "\n"
+      << "  jobs_cancelled:     " << jobs_cancelled << "\n"
+      << "  streams_abandoned:  " << streams_abandoned << "\n"
+      << "  stream_pauses:      " << stream_pauses << "\n"
       << "  rejects:            " << total_rejected();
   for (std::size_t i = 0; i < rejects_by_code.size(); ++i) {
     if (rejects_by_code[i] != 0) {
@@ -41,6 +50,10 @@ std::string ServiceCounters::to_string() const {
 ServiceCounters CounterBlock::snapshot(std::int64_t max_fused_batch) const {
   ServiceCounters s;
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  s.admission_pending = admission_pending_.load(std::memory_order_relaxed);
+  s.admission_pending_peak =
+      admission_pending_peak_.load(std::memory_order_relaxed);
   s.shards_active = shards_active_.load(std::memory_order_relaxed);
   s.shards_spawned = shards_spawned_.load(std::memory_order_relaxed);
   s.rounds_executed = rounds_executed_.load(std::memory_order_relaxed);
@@ -51,6 +64,12 @@ ServiceCounters CounterBlock::snapshot(std::int64_t max_fused_batch) const {
   s.requests_completed = requests_completed_.load(std::memory_order_relaxed);
   s.stream_deliveries = stream_deliveries_.load(std::memory_order_relaxed);
   s.patterns_delivered = patterns_delivered_.load(std::memory_order_relaxed);
+  s.requests_shed = requests_shed_.load(std::memory_order_relaxed);
+  s.requests_degraded = requests_degraded_.load(std::memory_order_relaxed);
+  s.deadlines_expired = deadlines_expired_.load(std::memory_order_relaxed);
+  s.jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
+  s.streams_abandoned = streams_abandoned_.load(std::memory_order_relaxed);
+  s.stream_pauses = stream_pauses_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < rejects_.size(); ++i) {
     s.rejects_by_code[i] = rejects_[i].load(std::memory_order_relaxed);
   }

@@ -25,8 +25,16 @@ struct ServiceCounters {
   // -- gauges (instantaneous) --
   std::int64_t queue_depth = 0;    ///< Sampling jobs queued across shards.
   std::int64_t shards_active = 0;  ///< Live per-model batcher shards.
+  /// Admitted requests in flight (queued OR sampling) across all shards —
+  /// the quantity the flow-control layer bounds at max_queue_depth per
+  /// shard.
+  std::int64_t admission_pending = 0;
 
   // -- totals (monotone since service construction) --
+  std::int64_t queue_depth_peak = 0;  ///< High-water mark of queue_depth.
+  /// High-water mark of admission_pending (the "bounded peak queue depth"
+  /// acceptance signal: stays <= shards * max_queue_depth under overload).
+  std::int64_t admission_pending_peak = 0;
   std::int64_t shards_spawned = 0;   ///< Shards ever created (lazy spawn).
   std::int64_t rounds_executed = 0;  ///< Fused sampling rounds run.
   std::int64_t denoise_steps = 0;    ///< Reverse-diffusion steps, all rounds.
@@ -36,6 +44,24 @@ struct ServiceCounters {
   std::int64_t requests_completed = 0;  ///< Requests finished OK.
   std::int64_t stream_deliveries = 0;   ///< Per-slot stream callbacks fired.
   std::int64_t patterns_delivered = 0;  ///< Legal patterns across deliveries.
+  // -- flow control (load shedding, deadlines, backpressure) --
+  /// Requests turned away by admission control (soft UNAVAILABLE sheds and
+  /// hard RESOURCE_EXHAUSTED rejections alike; split by code in
+  /// rejects_by_code).
+  std::int64_t requests_shed = 0;
+  /// Requests admitted in degraded mode (count shrunk instead of shed).
+  std::int64_t requests_degraded = 0;
+  /// Jobs cancelled by the scheduler because their deadline expired
+  /// (queued or mid-sampling).
+  std::int64_t deadlines_expired = 0;
+  /// Jobs abandoned at round formation (downstream failure or stream
+  /// abandonment set the cancel flag).
+  std::int64_t jobs_cancelled = 0;
+  /// Pull-stream handles destroyed with the request still running.
+  std::int64_t streams_abandoned = 0;
+  /// Times a delivery hit the bounded stream buffer's high-water mark and
+  /// paused the legalization fan-out until the consumer drained.
+  std::int64_t stream_pauses = 0;
   /// Requests answered with a non-OK status, indexed by StatusCode value.
   std::array<std::int64_t, kStatusCodeCount> rejects_by_code{};
 
@@ -59,7 +85,19 @@ struct ServiceCounters {
 class CounterBlock {
  public:
   void add_queue_depth(std::int64_t delta) {
-    queue_depth_.fetch_add(delta, std::memory_order_relaxed);
+    const auto now =
+        queue_depth_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (delta > 0) {
+      raise_peak(queue_depth_peak_, now);
+    }
+  }
+  void add_admission_pending(std::int64_t delta) {
+    const auto now =
+        admission_pending_.fetch_add(delta, std::memory_order_relaxed) +
+        delta;
+    if (delta > 0) {
+      raise_peak(admission_pending_peak_, now);
+    }
   }
   void add_shards_active(std::int64_t delta) {
     shards_active_.fetch_add(delta, std::memory_order_relaxed);
@@ -88,6 +126,24 @@ class CounterBlock {
     stream_deliveries_.fetch_add(1, std::memory_order_relaxed);
     patterns_delivered_.fetch_add(patterns, std::memory_order_relaxed);
   }
+  void record_shed() {
+    requests_shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_degraded() {
+    requests_degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_deadline_expired() {
+    deadlines_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_cancelled() {
+    jobs_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_stream_abandoned() {
+    streams_abandoned_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_stream_pause() {
+    stream_pauses_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// Records a rejected request; OK statuses are ignored so callers can
   /// funnel every outgoing status through one place.
   void record_status(const Status& status) {
@@ -97,12 +153,35 @@ class CounterBlock {
     }
   }
 
+  /// Narrow accessors for hot-path consumers (the admission controller's
+  /// saturation window): two relaxed loads, no snapshot construction.
+  std::int64_t rounds_executed() const {
+    return rounds_executed_.load(std::memory_order_relaxed);
+  }
+  std::int64_t fused_slots_total() const {
+    return fused_slots_total_.load(std::memory_order_relaxed);
+  }
+
   /// `max_fused_batch` is the admission budget the fill ratio is computed
   /// against (the service passes its configured value).
   ServiceCounters snapshot(std::int64_t max_fused_batch) const;
 
  private:
+  /// Lifts a peak counter to at least `candidate` (relaxed CAS loop; peaks
+  /// only have to be torn-free, like every other counter here).
+  static void raise_peak(std::atomic<std::int64_t>& peak,
+                         std::int64_t candidate) {
+    std::int64_t seen = peak.load(std::memory_order_relaxed);
+    while (candidate > seen && !peak.compare_exchange_weak(
+                                   seen, candidate,
+                                   std::memory_order_relaxed)) {
+    }
+  }
+
   std::atomic<std::int64_t> queue_depth_{0};
+  std::atomic<std::int64_t> queue_depth_peak_{0};
+  std::atomic<std::int64_t> admission_pending_{0};
+  std::atomic<std::int64_t> admission_pending_peak_{0};
   std::atomic<std::int64_t> shards_active_{0};
   std::atomic<std::int64_t> shards_spawned_{0};
   std::atomic<std::int64_t> rounds_executed_{0};
@@ -113,6 +192,12 @@ class CounterBlock {
   std::atomic<std::int64_t> requests_completed_{0};
   std::atomic<std::int64_t> stream_deliveries_{0};
   std::atomic<std::int64_t> patterns_delivered_{0};
+  std::atomic<std::int64_t> requests_shed_{0};
+  std::atomic<std::int64_t> requests_degraded_{0};
+  std::atomic<std::int64_t> deadlines_expired_{0};
+  std::atomic<std::int64_t> jobs_cancelled_{0};
+  std::atomic<std::int64_t> streams_abandoned_{0};
+  std::atomic<std::int64_t> stream_pauses_{0};
   std::array<std::atomic<std::int64_t>, kStatusCodeCount> rejects_{};
 };
 

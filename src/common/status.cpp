@@ -18,6 +18,10 @@ const char* to_string(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -52,7 +56,11 @@ std::string Status::to_string() const {
   if (ok()) {
     return "OK";
   }
-  return std::string(common::to_string(code_)) + ": " + message_;
+  std::string out = std::string(common::to_string(code_)) + ": " + message_;
+  if (has_retry_after()) {
+    out += " (retry after " + std::to_string(retry_after_ms_) + " ms)";
+  }
+  return out;
 }
 
 }  // namespace diffpattern::common

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <optional>
 #include <string>
@@ -22,15 +23,17 @@ enum class StatusCode {
   kNotFound = 2,          // Named model / rule set / file missing.
   kFailedPrecondition = 3,  // Call ordering violated (e.g. untrained model).
   kInternal = 4,          // Invariant broke inside the service.
-  kUnavailable = 5,       // Service shutting down; retry elsewhere.
+  kUnavailable = 5,       // Transient overload / shutdown; retry later.
+  kResourceExhausted = 6,  // Hard admission budget exhausted; back off.
+  kDeadlineExceeded = 7,   // Request deadline expired before completion.
   // When adding a code, bump kStatusCodeCount below — per-code arrays
   // (e.g. the reject counters) are sized with it.
 };
 
 /// Number of StatusCode enumerators; indexes per-code arrays like the
 /// service's rejects_by_code counters.
-inline constexpr std::size_t kStatusCodeCount = 6;
-static_assert(static_cast<std::size_t>(StatusCode::kUnavailable) + 1 ==
+inline constexpr std::size_t kStatusCodeCount = 8;
+static_assert(static_cast<std::size_t>(StatusCode::kDeadlineExceeded) + 1 ==
                   kStatusCodeCount,
               "kStatusCodeCount must cover every StatusCode enumerator");
 
@@ -75,21 +78,44 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
   }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// "OK" or "INVALID_ARGUMENT: <message>".
+  /// Structured retry hint for load-shedding statuses (UNAVAILABLE /
+  /// RESOURCE_EXHAUSTED): how long the caller should back off before
+  /// retrying. 0 = no hint attached.
+  std::int64_t retry_after_ms() const { return retry_after_ms_; }
+  bool has_retry_after() const { return retry_after_ms_ > 0; }
+  /// Returns a copy of this status carrying the retry hint (clamped to
+  /// >= 0). Kept out of the constructor so the common no-hint paths stay
+  /// terse: Status::Unavailable("...").with_retry_after(25).
+  Status with_retry_after(std::int64_t ms) const {
+    Status out = *this;
+    out.retry_after_ms_ = ms > 0 ? ms : 0;
+    return out;
+  }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>"; a retry hint appends
+  /// " (retry after <N> ms)".
   std::string to_string() const;
 
   friend bool operator==(const Status& a, const Status& b) {
-    return a.code_ == b.code_ && a.message_ == b.message_;
+    return a.code_ == b.code_ && a.message_ == b.message_ &&
+           a.retry_after_ms_ == b.retry_after_ms_;
   }
 
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  std::int64_t retry_after_ms_ = 0;
 };
 
 /// Value-or-error return type: holds T iff status().ok(). Accessing value()

@@ -138,6 +138,7 @@ Pipeline::Pipeline(PipelineConfig config)
   // the old API accepted.
   service_config.max_count = std::numeric_limits<std::int64_t>::max();
   service_config.max_geometries = std::numeric_limits<std::int64_t>::max();
+  service_config.flow = config_.flow;
   service_ = std::make_unique<service::PatternService>(service_config);
 }
 

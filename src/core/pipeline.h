@@ -53,6 +53,13 @@ struct PipelineConfig {
   legalize::SolverConfig solver;
   std::uint64_t seed = 1;
 
+  /// Flow-control policy handed to the embedded PatternService (admission
+  /// windows, shedding thresholds, stream buffer bound — see
+  /// service::FlowControlConfig). The facade's own sequential calls never
+  /// queue deep enough to shed; this exists so the CLI can configure the
+  /// service it exposes via service().
+  service::FlowControlConfig flow;
+
   /// Maintain an exponential moving average of the model weights during
   /// training and sample with it (standard DDPM practice). Only worthwhile
   /// for longer runs; off by default at the scaled settings.

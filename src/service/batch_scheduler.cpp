@@ -70,10 +70,45 @@ common::Status BatchScheduler::submit(std::shared_ptr<SampleJob> job) {
   counters_.add_queue_depth(1);
   {
     const std::lock_guard<std::mutex> shard_lock(shard->mutex);
-    shard->queue.push_back(std::move(job));
+    enqueue_ordered(*shard, std::move(job));
   }
   shard->cv.notify_one();
   return common::Status::Ok();
+}
+
+void BatchScheduler::enqueue_ordered(Shard& shard,
+                                     std::shared_ptr<SampleJob> job) {
+  // Insert before the first strictly-lower-priority job: queues stay
+  // sorted by (priority descending, insertion order), so round formation
+  // can keep popping from the front.
+  const auto pos = std::find_if(
+      shard.queue.begin(), shard.queue.end(),
+      [&job](const std::shared_ptr<SampleJob>& queued) {
+        return queued->priority < job->priority;
+      });
+  shard.queue.insert(pos, std::move(job));
+}
+
+void BatchScheduler::expire_deadlines(Shard& shard) {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = shard.queue.begin(); it != shard.queue.end();) {
+    auto& job = *it;
+    if (!job->has_deadline || job->deadline > now) {
+      ++it;
+      continue;
+    }
+    if (job->error.ok()) {
+      job->error = common::Status::DeadlineExceeded(
+          job->next_slot > 0
+              ? "deadline expired after " + std::to_string(job->next_slot) +
+                    " of " + std::to_string(job->count) + " slots sampled"
+              : "deadline expired while the request was queued");
+    }
+    counters_.record_deadline_expired();
+    counters_.add_queue_depth(-1);
+    job->finish();
+    it = shard.queue.erase(it);
+  }
 }
 
 void BatchScheduler::remove_shard(const std::string& model) {
@@ -206,8 +241,16 @@ void BatchScheduler::shard_loop(Shard& shard) {
 /// hooks, and completes any job whose slots are all sampled.
 void BatchScheduler::run_round(Shard& shard,
                                std::unique_lock<std::mutex>& lock) {
-  // How many slots the front model revision could use this round. Jobs for
-  // a different revision (hot reload mid-queue) are skipped here and
+  // Cancel expired jobs first: they must never occupy fused slots, and an
+  // expired job at the front must not choose the round's model revision.
+  expire_deadlines(shard);
+  if (shard.queue.empty()) {
+    return;
+  }
+  // How many slots the front model revision could use this round. The
+  // queue is ordered by (priority, enqueue order), so the front job is the
+  // most urgent and its model revision wins the round; jobs for a
+  // different revision (hot reload mid-queue) are skipped here and
   // batched by a later round.
   const ModelArtifacts* model = shard.queue.front()->artifacts.get();
   std::int64_t wanted = 0;
@@ -226,6 +269,9 @@ void BatchScheduler::run_round(Shard& shard,
   if (granted == 0) {
     return;  // Shutdown: the loop fails the queue.
   }
+  // The budget wait can be long under contention; sweep again so a job
+  // that expired during it is cancelled instead of sampled.
+  expire_deadlines(shard);
 
   struct RoundEntry {
     std::shared_ptr<SampleJob> job;
@@ -254,13 +300,14 @@ void BatchScheduler::run_round(Shard& shard,
     for (auto it = shard.queue.begin();
          it != shard.queue.end() && budget > 0;) {
       auto& job = *it;
-      if (job->cancel != nullptr &&
-          job->cancel->load(std::memory_order_relaxed)) {
-        // The submitter already failed downstream; stop sampling for it.
+      if (job->cancelled && job->cancelled()) {
+        // The submitter already failed downstream (or the stream consumer
+        // abandoned its handle); stop sampling for it.
         if (job->error.ok()) {
           job->error = common::Status::Unavailable(
               "request abandoned after a downstream failure");
         }
+        counters_.record_cancelled();
         counters_.add_queue_depth(-1);
         job->finish();
         it = shard.queue.erase(it);
@@ -286,11 +333,12 @@ void BatchScheduler::run_round(Shard& shard,
       return;
     }
     if (leftover != nullptr) {
-      // Requeue the unfinished job at the back so the shard's other jobs
-      // get the next round instead of being blocked by one oversized
-      // request. Per-slot RNG streams make the round composition
-      // irrelevant to every job's output.
-      shard.queue.push_back(leftover);
+      // Requeue the unfinished job behind its same-priority peers so the
+      // shard's other jobs get the next round instead of being blocked by
+      // one oversized request (it still outranks lower priorities).
+      // Per-slot RNG streams make the round composition irrelevant to
+      // every job's output.
+      enqueue_ordered(shard, leftover);
       leftover_requeued = true;
     }
   } catch (...) {

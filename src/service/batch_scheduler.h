@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -51,19 +52,32 @@ struct SampleJob {
   std::int64_t count = 0;
   std::uint64_t seed = 0;
 
+  /// Scheduling class: shards keep their queues ordered by (priority
+  /// descending, enqueue order) and rounds pop from the front, so a
+  /// higher-priority job samples first. Per-slot RNG streams make the
+  /// resulting round composition invisible in every job's bytes.
+  std::int32_t priority = 0;
+  /// Deadline policy: when `has_deadline` and `deadline` has passed at
+  /// round formation, the job is cancelled with DEADLINE_EXCEEDED before
+  /// it can occupy fused slots — whether still queued or already
+  /// partially sampled.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
   /// Streaming hook: slots [begin, end) of this job finished sampling and
   /// `grids[begin..end)` are valid. The streaming path uses it to start
   /// legalization for those topologies immediately, while later rounds are
   /// still sampling. May be empty (collect-all jobs).
   std::function<void(std::int64_t begin, std::int64_t end)> on_slots_sampled;
 
-  /// Optional cancellation flag (owned by the submitter, who must keep it
-  /// alive until `done` resolves). When it reads true at round formation,
-  /// the job's remaining slots are abandoned and the job finishes with
-  /// UNAVAILABLE — the service sets it when a request is already failing
-  /// downstream, so a doomed request stops burning sampling rounds and
-  /// admission budget.
-  std::atomic<bool>* cancel = nullptr;
+  /// Optional cancellation predicate (the submitter guarantees everything
+  /// it captures outlives `done`). When it returns true at round
+  /// formation, the job's remaining slots are abandoned and the job
+  /// finishes with UNAVAILABLE — the service points it at the request's
+  /// downstream-failure flag and (for pull streams) the handle's
+  /// abandonment flag, so a doomed request stops burning sampling rounds
+  /// and admission budget. Called only from the shard thread.
+  std::function<bool()> cancelled;
 
   std::int64_t next_slot = 0;  // Slots already handed to a round.
   std::int64_t done_slots = 0;
@@ -134,6 +148,15 @@ class BatchScheduler {
   /// Runs one fused round for `shard`. Called with shard.mutex held; drops
   /// it for sampling and re-acquires before returning.
   void run_round(Shard& shard, std::unique_lock<std::mutex>& lock);
+  /// Inserts `job` into the shard queue keeping it ordered by (priority
+  /// descending, insertion order): behind every job of >= its priority,
+  /// ahead of strictly lower priorities. Requeued leftovers use the same
+  /// rule, so an oversized job still yields to its same-priority peers.
+  static void enqueue_ordered(Shard& shard, std::shared_ptr<SampleJob> job);
+  /// Fails (DEADLINE_EXCEEDED) and removes every queued job whose deadline
+  /// has passed. Called with shard.mutex held at round formation, so an
+  /// expired job never occupies fused slots.
+  void expire_deadlines(Shard& shard);
 
   /// Blocks until at least one admission slot is free (or shutdown), then
   /// takes min(wanted, available) slots. Returns 0 only on shutdown.

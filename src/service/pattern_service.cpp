@@ -1,6 +1,7 @@
 #include "service/pattern_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -25,6 +26,20 @@ namespace {
 // worker scheduling or delivery order. (The sampling tag lives in the
 // BatchScheduler.)
 constexpr std::uint64_t kLegalizeStream = 0x4C45474C;  // "LEGL"
+
+/// Thrown by the pull-stream delivery callback when the consumer abandoned
+/// its StreamHandle: legalize_slot maps it to UNAVAILABLE (a cancellation,
+/// not an INTERNAL fault) so the whole request unwinds as cancelled.
+struct StreamAbandoned {};
+
+/// Scope guard pairing AdmissionController::admit with its release: the
+/// window slot opens again on every exit path once the request's job has
+/// left the system.
+struct AdmissionGuard {
+  AdmissionController& admission;
+  const std::string& model;
+  ~AdmissionGuard() { admission.release(model); }
+};
 
 /// Collect-all shape shared by generate() and legalize_topologies().
 GenerateResult assemble_result(GenerateStats stats,
@@ -121,6 +136,7 @@ struct PatternService::Impl {
   explicit Impl(ServiceConfig cfg)
       : config(cfg),
         config_error(check_config(cfg)),
+        admission(cfg.flow, cfg.max_fused_batch, counters),
         workers(worker_count(cfg)),
         scheduler(cfg.max_fused_batch, counters) {
     if (config_error.ok() && cfg.compute_threads > 0) {
@@ -155,8 +171,8 @@ struct PatternService::Impl {
   }
 
   common::Result<std::vector<geometry::BinaryGrid>> run_sampling(
-      std::shared_ptr<const ModelArtifacts> artifacts, std::int64_t count,
-      std::uint64_t seed, GenerateStats& stats);
+      std::shared_ptr<const ModelArtifacts> artifacts,
+      const SampleTopologiesRequest& request, GenerateStats& stats);
   void legalize_slot(const std::shared_ptr<StreamExec>& exec,
                      const geometry::BinaryGrid& topology, std::int64_t index);
   void submit_slots(const std::shared_ptr<StreamExec>& exec,
@@ -170,11 +186,12 @@ struct PatternService::Impl {
                                            std::int64_t requested);
   /// Exactly one of `callback` (push streaming) / `collect` (collect-all,
   /// slots moved in) may be non-null; both null runs legalization with no
-  /// deliveries.
+  /// deliveries. `abandoned` (pull streams) cancels the sampling job when
+  /// it reads true — the submitter keeps it alive past return.
   common::Result<GenerateStats> run_generate(
       PatternService& service, const GenerateRequest& request,
-      const StreamCallback* callback,
-      std::vector<StreamedPattern>* collect);
+      const StreamCallback* callback, std::vector<StreamedPattern>* collect,
+      std::atomic<bool>* abandoned = nullptr);
 
   ServiceConfig config;
   /// Non-OK when the config was rejected (e.g. a zero-sized pool): every
@@ -186,6 +203,10 @@ struct PatternService::Impl {
   std::map<std::string, drc::DesignRules> rule_sets;
 
   common::CounterBlock counters;
+  /// Flow control: every request passes admission before its job may
+  /// enter the scheduler (declared after `counters`, which it records
+  /// into).
+  AdmissionController admission;
   /// Declared after `counters` and before `scheduler`: shard threads
   /// submit into `workers`, so the pool must outlive the scheduler (C++
   /// destroys members in reverse order).
@@ -197,13 +218,28 @@ struct PatternService::Impl {
 
 common::Result<std::vector<geometry::BinaryGrid>>
 PatternService::Impl::run_sampling(
-    std::shared_ptr<const ModelArtifacts> artifacts, std::int64_t count,
-    std::uint64_t seed, GenerateStats& stats) {
+    std::shared_ptr<const ModelArtifacts> artifacts,
+    const SampleTopologiesRequest& request, GenerateStats& stats) {
+  // Flow control: occupy an admission window slot for the whole life of
+  // the job (sampling-only requests cannot degrade — there is no partial
+  // result shape to shrink into).
+  const auto decision =
+      admission.admit(request.model, request.count, /*allow_degrade=*/false);
+  if (!decision.status.ok()) {
+    return decision.status;
+  }
+  const AdmissionGuard admission_guard{admission, request.model};
   auto job = std::make_shared<SampleJob>();
   job->artifacts = std::move(artifacts);
-  job->count = count;
-  job->seed = seed;
-  job->grids.resize(static_cast<std::size_t>(count));
+  job->count = request.count;
+  job->seed = request.seed;
+  job->priority = request.priority;
+  if (request.deadline_ms > 0) {
+    job->has_deadline = true;
+    job->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(request.deadline_ms);
+  }
+  job->grids.resize(static_cast<std::size_t>(request.count));
   auto done = job->done.get_future();
   const auto submitted = scheduler.submit(job);
   if (!submitted.ok()) {
@@ -214,6 +250,7 @@ PatternService::Impl::run_sampling(
   if (!job->error.ok()) {
     return job->error;
   }
+  stats.topologies_admitted = request.count;
   stats.sampling_seconds += job->sampling_seconds;
   stats.fused_batch_slots =
       std::max(stats.fused_batch_slots, job->fused_batch_slots);
@@ -304,6 +341,12 @@ void PatternService::Impl::legalize_slot(
         counters.record_delivery(
             static_cast<std::int64_t>(out.patterns.size()));
       }
+    } catch (const StreamAbandoned&) {
+      // The pull-stream consumer destroyed its handle: a cancellation,
+      // not a service fault — the request unwinds as UNAVAILABLE and the
+      // scheduler abandons its remaining rounds.
+      fail_exec(common::Status::Unavailable(
+          "stream abandoned by the consumer"));
     } catch (...) {
       // A throwing consumer (or a failed collect allocation) fails the
       // request instead of unwinding into the worker pool — no exception
@@ -388,13 +431,19 @@ common::Status validate_common(const PatternService& service,
                                const ModelRegistry& registry,
                                const std::string& model, std::int64_t count,
                                std::int64_t geometries,
-                               const std::string& rule_set) {
+                               const std::string& rule_set,
+                               std::int64_t deadline_ms) {
   if (model.empty()) {
     return common::Status::InvalidArgument("request names no model");
   }
   if (count < 1) {
     return common::Status::InvalidArgument("count must be >= 1, got " +
                                            std::to_string(count));
+  }
+  if (deadline_ms < 0) {
+    return common::Status::InvalidArgument(
+        "deadline_ms must be >= 0 (0 = no deadline), got " +
+        std::to_string(deadline_ms));
   }
   if (count > config.max_count) {
     return common::Status::InvalidArgument(
@@ -433,14 +482,14 @@ common::Status validate_common(const PatternService& service,
 /// passes the caller's callback straight through.
 common::Result<GenerateStats> PatternService::Impl::run_generate(
     PatternService& service, const GenerateRequest& request,
-    const StreamCallback* callback, std::vector<StreamedPattern>* collect) {
+    const StreamCallback* callback, std::vector<StreamedPattern>* collect,
+    std::atomic<bool>* abandoned) {
   if (!config_error.ok()) {
     return reject(config_error);
   }
-  const auto valid = validate_common(service, config, registry, request.model,
-                                     request.count,
-                                     request.geometries_per_topology,
-                                     request.rule_set);
+  const auto valid = validate_common(
+      service, config, registry, request.model, request.count,
+      request.geometries_per_topology, request.rule_set, request.deadline_ms);
   if (!valid.ok()) {
     return reject(valid);
   }
@@ -457,6 +506,17 @@ common::Result<GenerateStats> PatternService::Impl::run_generate(
     rules = std::move(named).value();
   }
 
+  // Flow control: a valid request may still be shed (typed, with a retry
+  // hint) or admitted with a degraded count. The window slot is held until
+  // this frame returns — i.e. until the job has fully left the system.
+  const auto decision =
+      admission.admit(request.model, request.count, request.allow_degrade);
+  if (!decision.status.ok()) {
+    return reject(decision.status);
+  }
+  const AdmissionGuard admission_guard{admission, request.model};
+  const std::int64_t admitted_count = decision.admitted_count;
+
   auto exec = std::make_shared<StreamExec>();
   exec->artifacts = *artifacts;
   exec->rules = std::move(rules);
@@ -467,14 +527,25 @@ common::Result<GenerateStats> PatternService::Impl::run_generate(
 
   auto job = std::make_shared<SampleJob>();
   job->artifacts = *artifacts;
-  job->count = request.count;
+  job->count = admitted_count;
   job->seed = request.seed;
-  job->grids.resize(static_cast<std::size_t>(request.count));
+  job->priority = request.priority;
+  if (request.deadline_ms > 0) {
+    job->has_deadline = true;
+    job->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(request.deadline_ms);
+  }
+  job->grids.resize(static_cast<std::size_t>(admitted_count));
   // Once the request fails downstream (legalization error, throwing
-  // consumer), remaining sampling rounds are wasted work: let the shard
-  // abandon them. `exec` outlives the job's future, so the pointer stays
-  // valid for as long as the scheduler may read it.
-  job->cancel = &exec->failed;
+  // consumer) or the pull-stream consumer abandons its handle, remaining
+  // sampling rounds are wasted work: let the shard abandon them. The
+  // closure's captured exec shared_ptr (and the submitter-owned
+  // `abandoned` flag) outlive the job's future.
+  job->cancelled = [exec, abandoned] {
+    return exec->failed.load(std::memory_order_relaxed) ||
+           (abandoned != nullptr &&
+            abandoned->load(std::memory_order_relaxed));
+  };
   // The hook fires on the shard thread strictly before the job's future
   // resolves, so slots_submitted is final once `done` is ready. The raw
   // job pointer stays valid: this frame owns the shared_ptr until return.
@@ -506,6 +577,8 @@ common::Result<GenerateStats> PatternService::Impl::run_generate(
     return reject(job->error);
   }
   GenerateStats stats = std::move(drained).value();
+  stats.topologies_admitted = admitted_count;
+  stats.degraded = decision.degraded;
   stats.sampling_seconds += job->sampling_seconds;
   stats.fused_batch_slots =
       std::max(stats.fused_batch_slots, job->fused_batch_slots);
@@ -568,7 +641,7 @@ common::Status PatternService::validate(
   }
   return validate_common(*this, impl_->config, impl_->registry, request.model,
                          request.count, request.geometries_per_topology,
-                         request.rule_set);
+                         request.rule_set, request.deadline_ms);
 }
 
 common::Result<GenerateResult> PatternService::generate(
@@ -597,10 +670,38 @@ struct StreamHandle::State {
   std::mutex mutex;
   std::condition_variable cv;
   std::deque<StreamedPattern> items;
+  /// Bounded delivery buffer (FlowControlConfig::stream_buffer_limit):
+  /// a delivery that would grow `items` past this pauses the producing
+  /// worker until next() drains. <= 0 = unbounded.
+  std::int64_t buffer_limit = 0;
+  /// Set (under `mutex`) when the handle is destroyed mid-stream; read
+  /// lock-free by the scheduler's cancel predicate and by paused
+  /// producers, so the abandoned request unwinds instead of completing.
+  std::atomic<bool> abandoned{false};
   bool done = false;
   common::Status status;
   GenerateStats stats;
+  common::CounterBlock* counters = nullptr;
   std::thread driver;
+
+  /// Shared tail of the destructor and move-assignment: flags an
+  /// in-flight stream as abandoned (cancelling its sampling job and
+  /// unblocking any paused producer), then joins the driver.
+  void abandon_and_join() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (!done) {
+        abandoned.store(true, std::memory_order_relaxed);
+        if (counters != nullptr) {
+          counters->record_stream_abandoned();
+        }
+      }
+    }
+    cv.notify_all();
+    if (driver.joinable()) {
+      driver.join();
+    }
+  }
 };
 
 StreamHandle::StreamHandle(std::shared_ptr<State> state)
@@ -610,10 +711,11 @@ StreamHandle::StreamHandle(StreamHandle&&) noexcept = default;
 
 StreamHandle& StreamHandle::operator=(StreamHandle&& other) noexcept {
   if (this != &other) {
-    // Like the destructor: a still-running stream must be joined before
-    // its State is released, or ~State would destroy a joinable thread.
-    if (state_ != nullptr && state_->driver.joinable()) {
-      state_->driver.join();
+    // Like the destructor: a still-running stream is cancelled and its
+    // driver joined before its State is released, or ~State would destroy
+    // a joinable thread.
+    if (state_ != nullptr) {
+      state_->abandon_and_join();
     }
     state_ = std::move(other.state_);
   }
@@ -621,8 +723,8 @@ StreamHandle& StreamHandle::operator=(StreamHandle&& other) noexcept {
 }
 
 StreamHandle::~StreamHandle() {
-  if (state_ != nullptr && state_->driver.joinable()) {
-    state_->driver.join();
+  if (state_ != nullptr) {
+    state_->abandon_and_join();
   }
 }
 
@@ -635,6 +737,10 @@ std::optional<StreamedPattern> StreamHandle::next() {
   }
   StreamedPattern out = std::move(state_->items.front());
   state_->items.pop_front();
+  lock.unlock();
+  // Wake a producer paused at the buffer's high-water mark: the consumer
+  // just opened a slot.
+  state_->cv.notify_all();
   return out;
 }
 
@@ -654,15 +760,37 @@ common::Result<GenerateStats> StreamHandle::finish() {
 
 StreamHandle PatternService::generate_stream(const GenerateRequest& request) {
   auto state = std::make_shared<StreamHandle::State>();
+  state->buffer_limit = impl_->config.flow.stream_buffer_limit;
+  state->counters = &impl_->counters;
   state->driver = std::thread([this, request, state] {
-    auto result =
-        generate_stream(request, [&state](const StreamedPattern& pattern) {
-          {
-            const std::lock_guard<std::mutex> lock(state->mutex);
-            state->items.push_back(pattern);
-          }
-          state->cv.notify_all();
+    const StreamCallback deliver = [this,
+                                    &state](const StreamedPattern& pattern) {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      if (state->buffer_limit > 0 &&
+          static_cast<std::int64_t>(state->items.size()) >=
+              state->buffer_limit &&
+          !state->abandoned.load(std::memory_order_relaxed)) {
+        // High-water mark: pause this delivery (and with it the
+        // legalization fan-out — deliveries are serialized, so every
+        // worker queues up behind this one) until the consumer drains
+        // below the bound or abandons the handle.
+        impl_->counters.record_stream_pause();
+        state->cv.wait(lock, [&] {
+          return state->abandoned.load(std::memory_order_relaxed) ||
+                 static_cast<std::int64_t>(state->items.size()) <
+                     state->buffer_limit;
         });
+      }
+      if (state->abandoned.load(std::memory_order_relaxed)) {
+        throw StreamAbandoned{};  // legalize_slot maps this to UNAVAILABLE.
+      }
+      state->items.push_back(pattern);
+      lock.unlock();
+      state->cv.notify_all();
+    };
+    auto result = impl_->run_generate(*this, request, &deliver,
+                                      /*collect=*/nullptr,
+                                      &state->abandoned);
     {
       const std::lock_guard<std::mutex> lock(state->mutex);
       if (result.ok()) {
@@ -684,9 +812,9 @@ common::Result<SampleTopologiesResult> PatternService::sample_topologies(
   if (!impl_->config_error.ok()) {
     return impl_->reject(impl_->config_error);
   }
-  const auto valid =
-      validate_common(*this, impl_->config, impl_->registry, request.model,
-                      request.count, /*geometries=*/1, /*rule_set=*/"");
+  const auto valid = validate_common(
+      *this, impl_->config, impl_->registry, request.model, request.count,
+      /*geometries=*/1, /*rule_set=*/"", request.deadline_ms);
   if (!valid.ok()) {
     return impl_->reject(valid);
   }
@@ -695,9 +823,9 @@ common::Result<SampleTopologiesResult> PatternService::sample_topologies(
     return impl_->reject(artifacts.status());
   }
   SampleTopologiesResult result;
-  // run_sampling records acceptance once its job is admitted to a shard.
-  auto grids = impl_->run_sampling(*artifacts, request.count, request.seed,
-                                   result.stats);
+  // run_sampling runs admission and records acceptance once its job is
+  // admitted to a shard.
+  auto grids = impl_->run_sampling(*artifacts, request, result.stats);
   if (!grids.ok()) {
     return impl_->reject(grids.status());
   }
@@ -725,7 +853,7 @@ common::Result<GenerateResult> PatternService::legalize_topologies(
   const auto valid = validate_common(
       *this, impl_->config, impl_->registry, request.model,
       static_cast<std::int64_t>(request.topologies.size()),
-      request.geometries_per_topology, request.rule_set);
+      request.geometries_per_topology, request.rule_set, /*deadline_ms=*/0);
   if (!valid.ok()) {
     return impl_->reject(valid);
   }
@@ -762,7 +890,9 @@ common::Result<GenerateResult> PatternService::legalize_topologies(
     return impl_->reject(drained.status());
   }
   impl_->counters.record_completed();
-  return assemble_result(std::move(drained).value(), std::move(slots));
+  GenerateStats stats = std::move(drained).value();
+  stats.topologies_admitted = n;  // No scheduler leg, nothing to degrade.
+  return assemble_result(stats, std::move(slots));
 }
 
 }  // namespace diffpattern::service

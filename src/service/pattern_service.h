@@ -29,6 +29,13 @@
 //     batch fusion, or worker scheduling.
 //   * Service-level counters (queue depth, rounds, shard occupancy, fill
 //     ratio, deliveries, rejects by code) are exported via counters().
+//   * Flow control: every request passes admission (bounded per-shard
+//     windows) before it may queue. Under overload the service sheds
+//     (UNAVAILABLE / RESOURCE_EXHAUSTED with retry-after hints) or
+//     degrades (count shrunk, when the request allows it) instead of
+//     queueing unboundedly; requests carry a priority and an optional
+//     deadline (DEADLINE_EXCEEDED once it expires). None of it is visible
+//     in the bytes of what does run.
 //
 // No exception crosses this API: all fallible paths return Status / a
 // Result<T> with a typed StatusCode.
@@ -43,6 +50,7 @@
 #include "common/counters.h"
 #include "common/status.h"
 #include "drc/rules.h"
+#include "service/admission.h"
 #include "service/model_registry.h"
 #include "service/request.h"
 
@@ -70,14 +78,29 @@ struct ServiceConfig {
   std::int64_t max_count = 4096;
   /// Per-request geometries-per-topology cap.
   std::int64_t max_geometries = 256;
+  /// Flow-control policy: per-shard admission windows, load-shedding
+  /// thresholds, retry hints, degraded mode, and the bounded pull-stream
+  /// delivery buffer (see FlowControlConfig).
+  FlowControlConfig flow;
 };
 
 /// Pull-side handle for a streamed generation request (see
 /// PatternService::generate_stream). The request runs in the background;
 /// next() hands out deliveries as they arrive and finish() reports the
 /// final status + stats. The handle must not outlive its PatternService.
-/// Destroying it blocks until the request completes (deliveries not yet
-/// pulled are discarded).
+///
+/// Backpressure: at most FlowControlConfig::stream_buffer_limit
+/// deliveries are buffered. A delivery that would exceed the bound pauses
+/// the legalization fan-out (the producing worker blocks) until next()
+/// drains below the high-water mark — a stalled consumer can no longer
+/// grow memory without bound, and resuming drains the identical byte
+/// sequence.
+///
+/// Abandonment: destroying (or move-assigning over) the handle while the
+/// request is still running cancels the job — remaining sampling rounds
+/// are abandoned, buffered deliveries are discarded, and the admission
+/// window slot is released — then blocks briefly until the cancelled
+/// request unwinds.
 class StreamHandle {
  public:
   StreamHandle(StreamHandle&&) noexcept;
@@ -93,7 +116,10 @@ class StreamHandle {
 
   /// Blocks until the request completes; returns the final status with the
   /// request's stats. Deliveries still buffered remain pullable via
-  /// next(). Safe to call repeatedly.
+  /// next(). Safe to call repeatedly. With a bounded buffer, a request
+  /// larger than the buffer cannot complete while its deliveries sit
+  /// unpulled — drain next() before (or instead of) parking in finish(),
+  /// or destroy the handle to cancel.
   common::Result<GenerateStats> finish();
 
  private:

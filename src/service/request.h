@@ -29,6 +29,19 @@ struct GenerateRequest {
   /// byte-identical patterns no matter how many requests run concurrently
   /// or how sampling rounds are batched.
   std::uint64_t seed = 0;
+  /// Scheduling class: higher-priority jobs run their sampling rounds
+  /// first (FIFO within a priority). Priority reorders WHEN slots sample,
+  /// never WHAT they sample — output bytes are priority-invariant.
+  std::int32_t priority = 0;
+  /// Latency budget in milliseconds from admission; 0 = none. An expired
+  /// job is cancelled (DEADLINE_EXCEEDED) before its next sampling round
+  /// forms, whether it is still queued or already partially sampled.
+  std::int64_t deadline_ms = 0;
+  /// Permits degraded admission under overload: instead of shedding, the
+  /// service may shrink `count` (FlowControlConfig::degrade_divisor). The
+  /// degraded output is the byte-identical prefix of the full request's;
+  /// stats report the shrink (GenerateStats::degraded).
+  bool allow_degrade = false;
 };
 
 /// Topology sampling only (no legalization).
@@ -36,6 +49,8 @@ struct SampleTopologiesRequest {
   std::string model;
   std::int64_t count = 1;
   std::uint64_t seed = 0;
+  std::int32_t priority = 0;     ///< See GenerateRequest::priority.
+  std::int64_t deadline_ms = 0;  ///< See GenerateRequest::deadline_ms.
 };
 
 /// Legalize externally produced topologies (baseline assessment flows).
@@ -78,6 +93,12 @@ std::vector<layout::SquishPattern> assemble_stream_patterns(
 
 struct GenerateStats {
   std::int64_t topologies_requested = 0;
+  /// Topologies actually admitted for execution: == topologies_requested
+  /// unless admission degraded the request under overload.
+  std::int64_t topologies_admitted = 0;
+  /// True when admission shrank the request's count instead of shedding
+  /// it (the request set allow_degrade and arrived during overload).
+  bool degraded = false;
   std::int64_t prefilter_rejected = 0;
   std::int64_t solver_rejected = 0;
   std::int64_t solver_rounds = 0;

@@ -27,6 +27,29 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
   EXPECT_EQ(dc::Status::Internal("x").code(), dc::StatusCode::kInternal);
   EXPECT_EQ(dc::Status::Unavailable("x").code(),
             dc::StatusCode::kUnavailable);
+  EXPECT_EQ(dc::Status::ResourceExhausted("x").code(),
+            dc::StatusCode::kResourceExhausted);
+  EXPECT_EQ(dc::Status::DeadlineExceeded("x").code(),
+            dc::StatusCode::kDeadlineExceeded);
+}
+
+TEST(Status, RetryAfterHintIsStructuredAndPrinted) {
+  const auto bare = dc::Status::Unavailable("overloaded");
+  EXPECT_FALSE(bare.has_retry_after());
+  EXPECT_EQ(bare.retry_after_ms(), 0);
+
+  const auto hinted = bare.with_retry_after(75);
+  EXPECT_TRUE(hinted.has_retry_after());
+  EXPECT_EQ(hinted.retry_after_ms(), 75);
+  EXPECT_EQ(hinted.code(), dc::StatusCode::kUnavailable);
+  EXPECT_EQ(hinted.message(), "overloaded");
+  EXPECT_EQ(hinted.to_string(),
+            "UNAVAILABLE: overloaded (retry after 75 ms)");
+  // The hint participates in equality (it is part of the answer).
+  EXPECT_FALSE(bare == hinted);
+  EXPECT_EQ(hinted, bare.with_retry_after(75));
+  // Non-positive hints are clamped to "no hint".
+  EXPECT_FALSE(bare.with_retry_after(-3).has_retry_after());
 }
 
 TEST(Status, EqualityComparesCodeAndMessage) {
@@ -40,6 +63,14 @@ TEST(StatusCode, NamesAreCanonical) {
   EXPECT_STREQ(dc::to_string(dc::StatusCode::kInvalidArgument),
                "INVALID_ARGUMENT");
   EXPECT_STREQ(dc::to_string(dc::StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(dc::to_string(dc::StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(dc::to_string(dc::StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(dc::to_string(dc::StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(dc::to_string(dc::StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(dc::to_string(dc::StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
 }
 
 TEST(Result, HoldsValueWhenOk) {

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <charconv>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -70,7 +71,8 @@ int usage() {
       "  train    --out model.ckpt [--iters N] [--tiles N] [--seed S]\n"
       "  generate --model model.ckpt --out library.bin [--count N]\n"
       "           [--geometries N] [--rules normal|space|area] [--seed S]\n"
-      "           [--stream] [--stats]\n"
+      "           [--stream] [--stats] [--priority N] [--deadline-ms N]\n"
+      "           [--max-queue-depth N]\n"
       "  evaluate --library library.bin [--rules normal|space|area]\n"
       "  render   --library library.bin --out-dir DIR [--limit N]\n"
       "  export-gds --library library.bin --out patterns.gds [--layer N]\n\n"
@@ -78,7 +80,11 @@ int usage() {
       "by the numeric kernels (default: DIFFPATTERN_THREADS env, else all\n"
       "hardware threads). Results are identical for every thread count.\n"
       "generate --stream prints each pattern (index + legality) as it is\n"
-      "delivered; --stats dumps the service counters after the run.\n";
+      "delivered; --stats dumps the service counters after the run.\n"
+      "--priority ranks the request against concurrent service traffic,\n"
+      "--deadline-ms bounds its latency (DEADLINE_EXCEEDED past it), and\n"
+      "--max-queue-depth caps the service's per-model admission window\n"
+      "(overload answers UNAVAILABLE/RESOURCE_EXHAUSTED + retry hint).\n";
   return 1;
 }
 
@@ -109,6 +115,16 @@ dp::core::PipelineConfig cli_config(const Args& args) {
   cfg.train_iterations = args.get_int("iters", 900);
   cfg.batch_size = 8;
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+  if (args.has("max-queue-depth")) {
+    const auto depth = args.get_int("max-queue-depth", 0);
+    if (depth < 1) {
+      throw UsageError("--max-queue-depth must be >= 1, got " +
+                       std::to_string(depth));
+    }
+    // One knob, coherent policy: the soft shed threshold follows the hard
+    // cap (the service clamps shed_queue_depth into [1, max_queue_depth]).
+    cfg.flow.max_queue_depth = depth;
+  }
   return cfg;
 }
 
@@ -150,24 +166,37 @@ int cmd_generate(const Args& args) {
     std::cerr << "generate: --model and --out are required\n";
     return 1;
   }
-  const auto checkpoint = args.get("model", "");
-  if (!dp::nn::is_checkpoint_file(checkpoint)) {
-    std::cerr << "generate: '" << checkpoint
-              << "' is missing or not a checkpoint\n";
-    return 1;
-  }
+  // Parse + validate every option (usage errors) before touching the
+  // filesystem or paying for pipeline construction.
   auto cfg = cli_config(args);
-  // The pipeline bootstraps the dataset (for the Solving-E delta library)
-  // and registers the checkpoint with its PatternService; generation itself
-  // is one typed request whose errors come back as Status codes.
-  dp::core::Pipeline pipeline(cfg);
-  pipeline.load_model(checkpoint);
   dp::service::GenerateRequest request;
   request.model = dp::core::Pipeline::kServiceModel;
   request.count = args.get_int("count", 64);
   request.geometries_per_topology = args.get_int("geometries", 1);
   request.rule_set = args.get("rules", "normal");
   request.seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+  const auto priority = args.get_int("priority", 0);
+  if (priority < std::numeric_limits<std::int32_t>::min() ||
+      priority > std::numeric_limits<std::int32_t>::max()) {
+    throw UsageError("--priority out of range: " + std::to_string(priority));
+  }
+  request.priority = static_cast<std::int32_t>(priority);
+  request.deadline_ms = args.get_int("deadline-ms", 0);
+  if (request.deadline_ms < 0) {
+    throw UsageError("--deadline-ms must be >= 0, got " +
+                     std::to_string(request.deadline_ms));
+  }
+  const auto checkpoint = args.get("model", "");
+  if (!dp::nn::is_checkpoint_file(checkpoint)) {
+    std::cerr << "generate: '" << checkpoint
+              << "' is missing or not a checkpoint\n";
+    return 1;
+  }
+  // The pipeline bootstraps the dataset (for the Solving-E delta library)
+  // and registers the checkpoint with its PatternService; generation itself
+  // is one typed request whose errors come back as Status codes.
+  dp::core::Pipeline pipeline(cfg);
+  pipeline.load_model(checkpoint);
   std::cout << "generating " << request.count << " topologies (x"
             << request.geometries_per_topology << " geometries, rules '"
             << request.rule_set << "', seed " << request.seed << ")"
@@ -210,6 +239,12 @@ int cmd_generate(const Args& args) {
                  : 1;
     }
     result = std::move(generated).value();
+  }
+  if (result.stats.degraded) {
+    std::cout << "note: admitted in degraded mode — "
+              << result.stats.topologies_admitted << " of "
+              << result.stats.topologies_requested
+              << " topologies ran (service overloaded)\n";
   }
   std::cout << "emitted " << result.patterns.size() << " legal patterns ("
             << result.stats.prefilter_rejected << " pre-filtered, "
