@@ -1,25 +1,34 @@
-// Kernel microbench: the parallel/blocked tensor backend vs single-thread
-// execution, on the three shapes that dominate the reverse-diffusion hot
-// path — GEMM, batch-wide convolution, and row softmax.
+// Kernel microbench: the runtime-dispatched SIMD backend vs forced-scalar
+// dispatch, and the parallel pool vs single-thread execution, on the three
+// shapes that dominate the reverse-diffusion hot path — GEMM, batch-wide
+// convolution, and row softmax.
 //
-// For every kernel the bench (a) verifies the parallel result is bitwise
-// equal to the retained naive reference at 1 thread AND at the ambient pool
-// size (the backend's determinism contract), and (b) reports best-of-reps
-// wall times for both pool sizes plus the speedup. Results land in
-// bench_out/BENCH_kernels.json; on a single-core host the speedup is ~1.0
+// For every kernel the bench (a) verifies the backend-parity contract —
+// forced-scalar and vector dispatch produce bitwise-identical results — and
+// checks the dispatched result against the retained naive reference within
+// a small ULP/absolute envelope (the references round mul and add
+// separately; the canonical kernels fuse), then (b) reports best-of-reps
+// wall times per backend at one thread (isolating the per-core
+// vectorization win) plus the vector backend at the ambient pool size.
+// Results land in bench_out/BENCH_kernels.json; on a host with no vector
+// backend the "simd" rows repeat the scalar backend and the speedup is ~1.0
 // by construction, so the exit code gates only on correctness.
+#include <cmath>
 #include <cstring>
 #include <iostream>
 
 #include "bench_common.h"
 #include "common/compute_pool.h"
+#include "common/float_compare.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "nn/autograd.h"
 #include "nn/ops.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace dp = diffpattern;
+using dp::tensor::KernelBackend;
 using dp::tensor::Tensor;
 
 namespace {
@@ -36,6 +45,26 @@ bool bitwise_equal(const Tensor& a, const Tensor& b) {
   return a.same_shape(b) &&
          std::memcmp(a.data(), b.data(),
                      static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/// Fused-vs-split rounding envelope against the naive reference. The drift
+/// grows with the accumulation length, so the envelope scales with the
+/// inner dimension `k` (test_simd_kernels.cpp owns the tight small-k
+/// bounds; this gate catches real kernel bugs, which land orders of
+/// magnitude outside it).
+bool ulp_close(const Tensor& a, const Tensor& b, std::int64_t k) {
+  const std::int64_t max_ulp = 4 * k;
+  const float atol = 4e-7F * static_cast<float>(k);
+  if (!a.same_shape(b)) {
+    return false;
+  }
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (dp::common::ulp_distance(a[i], b[i]) > max_ulp &&
+        std::abs(a[i] - b[i]) > atol) {
+      return false;
+    }
+  }
+  return true;
 }
 
 template <typename Fn>
@@ -59,28 +88,70 @@ void set_threads_or_die(std::int64_t threads) {
   }
 }
 
+void set_backend_or_die(KernelBackend backend) {
+  const auto status = dp::tensor::set_kernel_backend(backend);
+  if (!status.ok()) {
+    std::cerr << "[bench] " << status.to_string() << "\n";
+    std::abort();
+  }
+}
+
+/// Per-kernel measurement: times under forced-scalar and best-backend
+/// dispatch at 1 thread, plus best-backend at the ambient pool size, and
+/// verifies bitwise backend parity + reference agreement.
+struct KernelReport {
+  double scalar_ms_1t = 0.0;
+  double simd_ms_1t = 0.0;
+  double simd_ms_nt = 0.0;
+  bool parity_ok = false;
+  bool reference_ok = false;
+
+  double simd_speedup() const {
+    return simd_ms_1t > 0.0 ? scalar_ms_1t / simd_ms_1t : 0.0;
+  }
+};
+
+template <typename Run>
+KernelReport measure(KernelBackend best, std::int64_t ambient, int reps,
+                     const Tensor& reference, std::int64_t inner_dim,
+                     Run&& run) {
+  KernelReport report;
+  set_threads_or_die(1);
+  set_backend_or_die(KernelBackend::kScalar);
+  const Tensor scalar_out = run();
+  report.scalar_ms_1t = best_of_seconds(reps, [&] { run(); }) * 1000.0;
+  set_backend_or_die(best);
+  const Tensor simd_out = run();
+  report.simd_ms_1t = best_of_seconds(reps, [&] { run(); }) * 1000.0;
+  set_threads_or_die(ambient);
+  const Tensor threaded_out = run();
+  report.simd_ms_nt = best_of_seconds(reps, [&] { run(); }) * 1000.0;
+  report.parity_ok =
+      bitwise_equal(scalar_out, simd_out) && bitwise_equal(simd_out, threaded_out);
+  report.reference_ok = ulp_close(simd_out, reference, inner_dim);
+  return report;
+}
+
 }  // namespace
 
 int main() {
   dp::bench::print_header(
-      "Kernel microbench: parallel/blocked backend vs single thread");
+      "Kernel microbench: SIMD dispatch vs scalar, parallel vs single thread");
   const auto ambient = dp::common::default_thread_count();
-  std::cout << "ambient compute pool: " << ambient << " thread(s)\n";
+  const auto best = dp::tensor::detected_kernel_backend();
+  std::cout << "ambient compute pool: " << ambient << " thread(s)\n"
+            << "detected kernel backend: "
+            << dp::tensor::kernel_backend_label(best) << "\n";
   constexpr int kReps = 3;
   dp::common::Rng rng(2023);
 
   // ---- GEMM: C[256,512] = A[256,384] * B[384,512] -------------------------
   const Tensor a = random_tensor({256, 384}, rng);
   const Tensor b = random_tensor({384, 512}, rng);
-  const Tensor mm_ref = dp::tensor::reference::matmul(a, b);
-  set_threads_or_die(1);
-  const bool mm_ok_1t = bitwise_equal(dp::tensor::matmul(a, b), mm_ref);
-  const double mm_s_1t =
-      best_of_seconds(kReps, [&] { dp::tensor::matmul(a, b); });
-  set_threads_or_die(ambient);
-  const bool mm_ok_nt = bitwise_equal(dp::tensor::matmul(a, b), mm_ref);
-  const double mm_s_nt =
-      best_of_seconds(kReps, [&] { dp::tensor::matmul(a, b); });
+  const auto mm = measure(best, ambient, kReps,
+                          dp::tensor::reference::matmul(a, b),
+                          /*inner_dim=*/384,
+                          [&] { return dp::tensor::matmul(a, b); });
 
   // ---- conv2d forward: [16,16,32,32] * [32,16,3,3], stride 1, pad 1 -------
   // Run under NoGradGuard — the sample_streams configuration — so the
@@ -113,58 +184,56 @@ int main() {
       }
     }
   }
-  const auto run_conv = [&] {
+  const auto conv = measure(best, ambient, kReps, conv_ref,
+                            /*inner_dim=*/geom.patch_size(), [&] {
     return dp::nn::conv2d(dp::nn::Var(cx), dp::nn::Var(cw), dp::nn::Var(cb),
                           /*stride=*/1, /*padding=*/1)
         .value();
-  };
-  set_threads_or_die(1);
-  const bool conv_ok_1t = bitwise_equal(run_conv(), conv_ref);
-  const double conv_s_1t = best_of_seconds(kReps, [&] { run_conv(); });
-  set_threads_or_die(ambient);
-  const bool conv_ok_nt = bitwise_equal(run_conv(), conv_ref);
-  const double conv_s_nt = best_of_seconds(kReps, [&] { run_conv(); });
+  });
 
   // ---- softmax over [4096, 256] rows --------------------------------------
   const Tensor logits = random_tensor({4096, 256}, rng);
-  const Tensor sm_ref = dp::tensor::reference::softmax_rows(logits);
-  set_threads_or_die(1);
-  const bool sm_ok_1t = bitwise_equal(dp::tensor::softmax_rows(logits), sm_ref);
-  const double sm_s_1t =
-      best_of_seconds(kReps, [&] { dp::tensor::softmax_rows(logits); });
-  set_threads_or_die(ambient);
-  const bool sm_ok_nt = bitwise_equal(dp::tensor::softmax_rows(logits), sm_ref);
-  const double sm_s_nt =
-      best_of_seconds(kReps, [&] { dp::tensor::softmax_rows(logits); });
+  const auto sm = measure(best, ambient, kReps,
+                          dp::tensor::reference::softmax_rows(logits),
+                          /*inner_dim=*/256,
+                          [&] { return dp::tensor::softmax_rows(logits); });
 
-  const bool all_ok = mm_ok_1t && mm_ok_nt && conv_ok_1t && conv_ok_nt &&
-                      sm_ok_1t && sm_ok_nt;
-  const auto speedup = [](double s1, double sn) {
-    return sn > 0.0 ? s1 / sn : 0.0;
+  // Restore ambient dispatch for any code running after us.
+  set_backend_or_die(best);
+
+  const bool all_ok = mm.parity_ok && mm.reference_ok && conv.parity_ok &&
+                      conv.reference_ok && sm.parity_ok && sm.reference_ok;
+  const auto row = [](const char* name, const KernelReport& r) {
+    std::cout << name << "  scalar " << r.scalar_ms_1t << " ms -> simd "
+              << r.simd_ms_1t << " ms (x" << r.simd_speedup()
+              << "), threaded " << r.simd_ms_nt << " ms"
+              << (r.parity_ok ? "" : "  [PARITY BROKEN]")
+              << (r.reference_ok ? "" : "  [REFERENCE DRIFT]") << "\n";
   };
-  std::cout << "matmul  256x384x512:   " << mm_s_1t * 1000.0 << " ms -> "
-            << mm_s_nt * 1000.0 << " ms  (x" << speedup(mm_s_1t, mm_s_nt)
-            << ")\n"
-            << "conv2d  16x16x32x32:   " << conv_s_1t * 1000.0 << " ms -> "
-            << conv_s_nt * 1000.0 << " ms  (x" << speedup(conv_s_1t, conv_s_nt)
-            << ")\n"
-            << "softmax 4096x256:      " << sm_s_1t * 1000.0 << " ms -> "
-            << sm_s_nt * 1000.0 << " ms  (x" << speedup(sm_s_1t, sm_s_nt)
-            << ")\n"
-            << "bitwise equal to reference (1 and " << ambient
-            << " threads): " << (all_ok ? "yes" : "NO") << "\n";
+  row("matmul  256x384x512: ", mm);
+  row("conv2d  16x16x32x32: ", conv);
+  row("softmax 4096x256:    ", sm);
+  std::cout << "backend parity (scalar == "
+            << dp::tensor::kernel_backend_label(best)
+            << ", bitwise) and reference agreement: "
+            << (all_ok ? "yes" : "NO") << "\n";
 
   dp::bench::write_bench_json(
       "kernels",
-      {{"matmul_ms_1_thread", mm_s_1t * 1000.0},
-       {"matmul_ms_n_threads", mm_s_nt * 1000.0},
-       {"matmul_speedup", speedup(mm_s_1t, mm_s_nt)},
-       {"conv2d_ms_1_thread", conv_s_1t * 1000.0},
-       {"conv2d_ms_n_threads", conv_s_nt * 1000.0},
-       {"conv2d_speedup", speedup(conv_s_1t, conv_s_nt)},
-       {"softmax_ms_1_thread", sm_s_1t * 1000.0},
-       {"softmax_ms_n_threads", sm_s_nt * 1000.0},
-       {"softmax_speedup", speedup(sm_s_1t, sm_s_nt)},
-       {"bitwise_equal", all_ok ? 1.0 : 0.0}});
+      {{"backend_is_vector",
+        best == KernelBackend::kScalar ? 0.0 : 1.0},
+       {"matmul_ms_scalar_1_thread", mm.scalar_ms_1t},
+       {"matmul_ms_simd_1_thread", mm.simd_ms_1t},
+       {"matmul_simd_speedup", mm.simd_speedup()},
+       {"matmul_ms_simd_n_threads", mm.simd_ms_nt},
+       {"conv2d_ms_scalar_1_thread", conv.scalar_ms_1t},
+       {"conv2d_ms_simd_1_thread", conv.simd_ms_1t},
+       {"conv2d_simd_speedup", conv.simd_speedup()},
+       {"conv2d_ms_simd_n_threads", conv.simd_ms_nt},
+       {"softmax_ms_scalar_1_thread", sm.scalar_ms_1t},
+       {"softmax_ms_simd_1_thread", sm.simd_ms_1t},
+       {"softmax_simd_speedup", sm.simd_speedup()},
+       {"softmax_ms_simd_n_threads", sm.simd_ms_nt},
+       {"bitwise_backend_parity", all_ok ? 1.0 : 0.0}});
   return all_ok ? 0 : 1;
 }

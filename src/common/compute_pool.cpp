@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "common/contracts.h"
 
@@ -27,20 +28,33 @@ std::int64_t hardware_thread_count() {
                             // up a zero-thread pool because of it.
 }
 
-std::int64_t default_thread_count() {
-  if (const char* env = std::getenv("DIFFPATTERN_THREADS")) {
-    const std::string text(env);
-    std::int64_t value = 0;
-    const auto [end, ec] =
-        std::from_chars(text.data(), text.data() + text.size(), value);
-    if (ec == std::errc{} && end == text.data() + text.size() && value >= 1 &&
-        value <= kMaxComputeThreads) {
-      return value;
-    }
-    // Malformed or out-of-range: fall through to the hardware default
-    // rather than crashing a process over an env typo.
+namespace {
+
+/// DIFFPATTERN_THREADS when set to a usable positive integer, else -1
+/// (unset, malformed, or out-of-range values are all "not in effect").
+std::int64_t env_thread_count() {
+  const char* env = std::getenv("DIFFPATTERN_THREADS");
+  if (env == nullptr) {
+    return -1;
   }
-  return hardware_thread_count();
+  const std::string text(env);
+  std::int64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc{} && end == text.data() + text.size() && value >= 1 &&
+      value <= kMaxComputeThreads) {
+    return value;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::int64_t default_thread_count() {
+  // Malformed or out-of-range env values fall through to the hardware
+  // default rather than crashing a process over an env typo.
+  const auto from_env = env_thread_count();
+  return from_env >= 1 ? from_env : hardware_thread_count();
 }
 
 Result<std::int64_t> resolve_thread_count(std::int64_t requested) {
@@ -167,10 +181,22 @@ namespace {
 
 std::mutex g_pool_mutex;
 std::shared_ptr<ComputePool> g_pool;  // NOLINT: intentional process lifetime.
+/// How the current pool size was chosen (guarded by g_pool_mutex) — pure
+/// observability, surfaced by compute_pool_summary().
+const char* g_pool_sizing = "auto";
+
+const char* auto_sizing_source() {
+  // Only credit the env var when its value actually took effect —
+  // a malformed DIFFPATTERN_THREADS was ignored, and saying otherwise
+  // would send an operator debugging pool sizing down the wrong path.
+  return env_thread_count() >= 1 ? "sized by DIFFPATTERN_THREADS"
+                                 : "auto (hardware)";
+}
 
 std::shared_ptr<ComputePool> locked_pool() {
   if (g_pool == nullptr) {
     g_pool = std::make_shared<ComputePool>(default_thread_count());
+    g_pool_sizing = auto_sizing_source();
   }
   return g_pool;
 }
@@ -194,12 +220,20 @@ Status set_global_compute_threads(std::int64_t requested) {
   // Regions in flight hold their own shared_ptr (global_compute_pool), so
   // the displaced pool finishes them and is destroyed by its last holder.
   g_pool = std::make_shared<ComputePool>(*resolved);
+  g_pool_sizing =
+      requested > 0 ? "sized explicitly" : auto_sizing_source();
   return Status::Ok();
 }
 
 std::int64_t global_compute_threads() {
   const std::lock_guard<std::mutex> lock(g_pool_mutex);
   return locked_pool()->threads();
+}
+
+std::string compute_pool_summary() {
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const auto threads = locked_pool()->threads();
+  return std::to_string(threads) + " thread(s), " + g_pool_sizing;
 }
 
 }  // namespace diffpattern::common

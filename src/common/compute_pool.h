@@ -110,4 +110,10 @@ Status set_global_compute_threads(std::int64_t requested);
 /// Current size of the process-wide pool (constructs it if needed).
 std::int64_t global_compute_threads();
 
+/// One-line backend report for observability surfaces (--stats, benches):
+/// the pool size plus how it was chosen, e.g. "4 thread(s), sized by
+/// DIFFPATTERN_THREADS" / "8 thread(s), auto (hardware)" / "2 thread(s),
+/// sized explicitly". Constructs the pool if needed.
+std::string compute_pool_summary();
+
 }  // namespace diffpattern::common

@@ -14,8 +14,14 @@ std::int64_t ServiceCounters::total_rejected() const {
 
 std::string ServiceCounters::to_string() const {
   std::ostringstream out;
-  out << "service counters:\n"
-      << "  queue_depth:        " << queue_depth << " (peak "
+  out << "service counters:\n";
+  if (!kernel_backend.empty()) {
+    out << "  kernel_backend:     " << kernel_backend << "\n";
+  }
+  if (!compute_pool.empty()) {
+    out << "  compute_pool:       " << compute_pool << "\n";
+  }
+  out << "  queue_depth:        " << queue_depth << " (peak "
       << queue_depth_peak << ")\n"
       << "  admission_pending:  " << admission_pending << " (peak "
       << admission_pending_peak << ")\n"

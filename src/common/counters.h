@@ -22,6 +22,14 @@ namespace diffpattern::common {
 
 /// Plain-value snapshot of a service's counters at one instant.
 struct ServiceCounters {
+  // -- compute backend (filled by PatternService::counters(); the counter
+  //    block itself never sees the tensor layer) --
+  /// Active SIMD kernel backend ("scalar" / "avx2" / "neon").
+  std::string kernel_backend;
+  /// Process-wide compute-pool size plus how it was chosen (see
+  /// common::compute_pool_summary).
+  std::string compute_pool;
+
   // -- gauges (instantaneous) --
   std::int64_t queue_depth = 0;    ///< Sampling jobs queued across shards.
   std::int64_t shards_active = 0;  ///< Live per-model batcher shards.

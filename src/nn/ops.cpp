@@ -5,6 +5,7 @@
 
 #include "common/contracts.h"
 #include "tensor/parallel.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace diffpattern::nn {
@@ -122,10 +123,9 @@ Var add_const(const Var& a, const Tensor& c) {
 Var relu(const Var& a) {
   Tensor out = a.value();
   float* po = out.data();
+  const auto& kern = tensor::simd::active();
   parallel_elements(out.numel(), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      po[i] = po[i] > 0.0F ? po[i] : 0.0F;
-    }
+    kern.relu(po + i0, i1 - i0);
   });
   auto pa = a.node();
   Tensor x = a.value();
@@ -437,15 +437,13 @@ Var add_spatial_broadcast(const Var& x, const Var& bias_nc) {
   const auto c = v.dim(1);
   const auto plane = v.dim(2) * v.dim(3);
   Tensor out = v;
+  const auto& kern = tensor::simd::active();
   tensor::parallel_for(
       0, n * c,
       [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t i = i0; i < i1; ++i) {
           float* dst = out.data() + i * plane;
-          const float bias = b[i];
-          for (std::int64_t p = 0; p < plane; ++p) {
-            dst[p] += bias;
-          }
+          kern.shift(dst, dst, b[i], plane);
         }
       },
       std::max<std::int64_t>(1, tensor::kElementwiseGrain /
@@ -576,11 +574,10 @@ Var linear(const Var& x, const Var& w, const Var& b) {
   Tensor out = tensor::matmul_transpose_b(vx, vw);
   const auto n = out.dim(0);
   const auto f = out.dim(1);
+  const auto& kern = tensor::simd::active();
+  const float* pbias = vb.data();
   for (std::int64_t i = 0; i < n; ++i) {
-    float* row = out.data() + i * f;
-    for (std::int64_t j = 0; j < f; ++j) {
-      row[j] += vb[j];
-    }
+    kern.add(out.data() + i * f, pbias, f);
   }
   auto px = x.node();
   auto pw = w.node();
@@ -667,18 +664,15 @@ Var conv2d(const Var& x, const Var& w, const Var& b, std::int64_t stride,
   float* po = out.data();
   const float* py = y.data();
   const float* pbias = vb.data();
+  const auto& kern = tensor::simd::active();
   tensor::parallel_for(
       0, batch * out_ch,
       [&](std::int64_t p0, std::int64_t p1) {
         for (std::int64_t idx = p0; idx < p1; ++idx) {
           const auto n = idx / out_ch;
           const auto o = idx % out_ch;
-          const float* src = py + o * ncols + n * n_out;
-          float* dst = po + idx * n_out;
-          const float bias = pbias[o];
-          for (std::int64_t p = 0; p < n_out; ++p) {
-            dst[p] = src[p] + bias;
-          }
+          kern.shift(po + idx * n_out, py + o * ncols + n * n_out, pbias[o],
+                     n_out);
         }
       },
       std::max<std::int64_t>(1, tensor::kElementwiseGrain / n_out));
@@ -756,37 +750,29 @@ Var group_norm(const Var& x, const Var& gamma, const Var& beta,
   Tensor out(v.shape());
   const float* gam = gamma.value().data();
   const float* bet = beta.value().data();
-  // One task per (sample, group): the mean/variance reductions stay
-  // sequential (double accumulation, fixed order) inside each group, so the
-  // output is byte-identical for any thread count.
+  const auto& kern = tensor::simd::active();
+  // One task per (sample, group): the mean/variance reductions and the
+  // normalize/affine loop run through the dispatched kernels, whose
+  // canonical lane-split accumulation order is fixed — the output is
+  // byte-identical for any thread count and any backend.
   tensor::parallel_for(0, n * groups, [&](std::int64_t t0, std::int64_t t1) {
     for (std::int64_t t = t0; t < t1; ++t) {
       const auto i = t / groups;
       const auto g = t % groups;
       const float* src = v.data() + (i * c + g * cg) * plane;
-      double mean = 0.0;
-      for (std::int64_t e = 0; e < group_elems; ++e) {
-        mean += src[e];
-      }
-      mean /= static_cast<double>(group_elems);
-      double var = 0.0;
-      for (std::int64_t e = 0; e < group_elems; ++e) {
-        const double d = src[e] - mean;
-        var += d * d;
-      }
-      var /= static_cast<double>(group_elems);
+      const double mean =
+          kern.sum(src, group_elems) / static_cast<double>(group_elems);
+      const double var = kern.sumsq_centered(src, mean, group_elems) /
+                         static_cast<double>(group_elems);
       const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
       inv_std.at({i, g}) = istd;
       float* xh = xhat.data() + (i * c + g * cg) * plane;
       float* dst = out.data() + (i * c + g * cg) * plane;
       for (std::int64_t cc = 0; cc < cg; ++cc) {
         const auto ch = g * cg + cc;
-        for (std::int64_t p = 0; p < plane; ++p) {
-          const auto e = cc * plane + p;
-          const float xn = (src[e] - static_cast<float>(mean)) * istd;
-          xh[e] = xn;
-          dst[e] = xn * gam[ch] + bet[ch];
-        }
+        kern.normalize_affine(src + cc * plane, static_cast<float>(mean),
+                              istd, gam[ch], bet[ch], xh + cc * plane,
+                              dst + cc * plane, plane);
       }
     }
   });
@@ -878,32 +864,22 @@ Var layer_norm(const Var& x, const Var& gamma, const Var& beta, float eps) {
   Tensor out(v.shape());
   const float* gam = gamma.value().data();
   const float* bet = beta.value().data();
-  // Row-parallel; each row's reductions run sequentially inside one task.
+  const auto& kern = tensor::simd::active();
+  // Row-parallel; each row's reductions run through the dispatched kernels
+  // (canonical lane-split order, backend- and thread-invariant).
   tensor::parallel_for(
       0, rows,
       [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
           const float* src = v.data() + r * f;
-          double mean = 0.0;
-          for (std::int64_t j = 0; j < f; ++j) {
-            mean += src[j];
-          }
-          mean /= static_cast<double>(f);
-          double var = 0.0;
-          for (std::int64_t j = 0; j < f; ++j) {
-            const double d = src[j] - mean;
-            var += d * d;
-          }
-          var /= static_cast<double>(f);
+          const double mean = kern.sum(src, f) / static_cast<double>(f);
+          const double var =
+              kern.sumsq_centered(src, mean, f) / static_cast<double>(f);
           const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
           inv_std[r] = istd;
-          float* xh = xhat.data() + r * f;
-          float* dst = out.data() + r * f;
-          for (std::int64_t j = 0; j < f; ++j) {
-            const float xn = (src[j] - static_cast<float>(mean)) * istd;
-            xh[j] = xn;
-            dst[j] = xn * gam[j] + bet[j];
-          }
+          kern.normalize_affine_rows(src, static_cast<float>(mean), istd,
+                                     gam, bet, xhat.data() + r * f,
+                                     out.data() + r * f, f);
         }
       },
       std::max<std::int64_t>(1, tensor::kElementwiseGrain /

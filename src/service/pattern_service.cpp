@@ -16,6 +16,7 @@
 #include "legalize/constraints.h"
 #include "service/batch_scheduler.h"
 #include "service/worker_pool.h"
+#include "tensor/simd.h"
 
 namespace diffpattern::service {
 
@@ -141,6 +142,12 @@ struct PatternService::Impl {
         scheduler(cfg.max_fused_batch, counters) {
     if (config_error.ok() && cfg.compute_threads > 0) {
       config_error = common::set_global_compute_threads(cfg.compute_threads);
+    }
+    if (config_error.ok() && !cfg.kernel_backend.empty()) {
+      // Unknown names and ISAs the host cannot execute gate every request
+      // with INVALID_ARGUMENT — never silently fall back to another
+      // backend the operator did not ask for.
+      config_error = tensor::set_kernel_backend_name(cfg.kernel_backend);
     }
     rule_sets["normal"] = drc::standard_rules();
     rule_sets["space"] = drc::larger_space_rules();
@@ -598,8 +605,13 @@ ModelRegistry& PatternService::models() { return impl_->registry; }
 const ServiceConfig& PatternService::config() const { return impl_->config; }
 
 common::ServiceCounters PatternService::counters() const {
-  return impl_->counters.snapshot(
+  auto snap = impl_->counters.snapshot(
       std::max<std::int64_t>(1, impl_->config.max_fused_batch));
+  // Compute-backend identity rides along with every snapshot so --stats
+  // (and any scraper) can attribute throughput to the dispatch in effect.
+  snap.kernel_backend = tensor::kernel_backend_name();
+  snap.compute_pool = common::compute_pool_summary();
+  return snap;
 }
 
 common::Status PatternService::register_rule_set(

@@ -5,6 +5,7 @@
 
 #include "common/contracts.h"
 #include "tensor/parallel.h"
+#include "tensor/simd.h"
 
 namespace diffpattern::tensor {
 
@@ -32,11 +33,13 @@ std::int64_t row_grain(std::int64_t flops_per_row) {
                                                       1, flops_per_row));
 }
 
-/// One output row of C += A * B: crow[j] += arow[k] * b[k][j], k ascending
-/// per element, skipping zero A entries (binary topologies make A sparse on
-/// several hot paths; adding exact zeros is a no-op for finite values).
-void gemm_row(const float* arow, const float* pb, float* crow, std::int64_t k,
-              std::int64_t n) {
+/// One output row of C += A * B: crow[j] = fma(arow[k], b[k][j], crow[j]),
+/// k ascending per element through the dispatched axpy micro-kernel
+/// (canonical fused accumulation — see tensor/simd.h), skipping zero A
+/// entries (binary topologies make A sparse on several hot paths; adding
+/// exact zeros is a no-op for finite values).
+void gemm_row(const simd::Kernels& kern, const float* arow, const float* pb,
+              float* crow, std::int64_t k, std::int64_t n) {
   for (std::int64_t j0 = 0; j0 < n; j0 += kColumnTile) {
     const auto j1 = std::min(n, j0 + kColumnTile);
     for (std::int64_t kk = 0; kk < k; ++kk) {
@@ -44,10 +47,7 @@ void gemm_row(const float* arow, const float* pb, float* crow, std::int64_t k,
       if (av == 0.0F) {
         continue;
       }
-      const float* brow = pb + kk * n;
-      for (std::int64_t j = j0; j < j1; ++j) {
-        crow[j] += av * brow[j];
-      }
+      kern.axpy(av, pb + kk * n + j0, crow + j0, j1 - j0);
     }
   }
 }
@@ -91,11 +91,12 @@ void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
+  const auto& kern = simd::active();
   parallel_for(
       0, m,
       [&](std::int64_t row_begin, std::int64_t row_end) {
         for (std::int64_t i = row_begin; i < row_end; ++i) {
-          gemm_row(pa + i * k, pb, pc + i * n, k, n);
+          gemm_row(kern, pa + i * k, pb, pc + i * n, k, n);
         }
       },
       row_grain(k * n));
@@ -112,8 +113,9 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
+  const auto& kern = simd::active();
   // Each task owns whole output rows (a column of A); the per-element
-  // accumulation order over i matches the reference kernel exactly.
+  // fused accumulation order over i is the same for every backend.
   parallel_for(
       0, k,
       [&](std::int64_t row_begin, std::int64_t row_end) {
@@ -124,10 +126,7 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
             if (av == 0.0F) {
               continue;
             }
-            const float* brow = pb + i * n;
-            for (std::int64_t j = 0; j < n; ++j) {
-              crow[j] += av * brow[j];
-            }
+            kern.axpy(av, pb + i * n, crow, n);
           }
         }
       },
@@ -146,6 +145,7 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
+  const auto& kern = simd::active();
   parallel_for(
       0, m,
       [&](std::int64_t row_begin, std::int64_t row_end) {
@@ -153,12 +153,7 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
           const float* arow = pa + i * n;
           float* crow = pc + i * k;
           for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float* brow = pb + kk * n;
-            float acc = 0.0F;
-            for (std::int64_t j = 0; j < n; ++j) {
-              acc += arow[j] * brow[j];
-            }
-            crow[kk] = acc;
+            crow[kk] = kern.dot(arow, pb + kk * n, n);
           }
         }
       },
@@ -337,10 +332,9 @@ Tensor add(const Tensor& a, const Tensor& b) {
   Tensor out = a;
   float* po = out.data();
   const float* pb = b.data();
+  const auto& kern = simd::active();
   parallel_elements(out.numel(), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      po[i] += pb[i];
-    }
+    kern.add(po + i0, pb + i0, i1 - i0);
   });
   return out;
 }
@@ -351,10 +345,9 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   Tensor out = a;
   float* po = out.data();
   const float* pb = b.data();
+  const auto& kern = simd::active();
   parallel_elements(out.numel(), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      po[i] *= pb[i];
-    }
+    kern.mul(po + i0, pb + i0, i1 - i0);
   });
   return out;
 }
@@ -362,10 +355,9 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 Tensor scale(const Tensor& a, float s) {
   Tensor out = a;
   float* po = out.data();
+  const auto& kern = simd::active();
   parallel_elements(out.numel(), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      po[i] *= s;
-    }
+    kern.scale(po + i0, s, i1 - i0);
   });
   return out;
 }
@@ -375,26 +367,24 @@ Tensor softmax_rows(const Tensor& logits) {
   const auto rows = logits.dim(0);
   const auto cols = logits.dim(1);
   Tensor out = logits;
-  // Row-parallel: each row's max/sum reduction runs sequentially inside one
-  // task, so the result matches the reference kernel bitwise.
+  const auto& kern = simd::active();
+  // Row-parallel: the max and final scale go through the dispatched
+  // kernels (exact for every backend); the exp/denominator loop keeps its
+  // fixed sequential double accumulation so the value is independent of
+  // thread count and backend alike.
   parallel_for(
       0, rows,
       [&](std::int64_t row_begin, std::int64_t row_end) {
         for (std::int64_t i = row_begin; i < row_end; ++i) {
           float* row = out.data() + i * cols;
-          float m = row[0];
-          for (std::int64_t j = 1; j < cols; ++j) {
-            m = std::max(m, row[j]);
-          }
+          const float m = kern.max(row, cols);
           double denom = 0.0;
           for (std::int64_t j = 0; j < cols; ++j) {
             row[j] = std::exp(row[j] - m);
             denom += row[j];
           }
           const auto inv = static_cast<float>(1.0 / denom);
-          for (std::int64_t j = 0; j < cols; ++j) {
-            row[j] *= inv;
-          }
+          kern.scale(row, inv, cols);
         }
       },
       std::max<std::int64_t>(1, kElementwiseGrain / std::max<std::int64_t>(

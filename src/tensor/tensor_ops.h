@@ -3,10 +3,14 @@
 // These are the non-differentiable building blocks; gradient bookkeeping is
 // layered on top in src/nn. The GEMM family and the batch-wide convolution
 // unrolls run blocked and row-parallel on the process-wide compute pool
-// (src/tensor/parallel.h); every kernel keeps a fixed per-element reduction
-// order, so results are byte-identical for any thread count. The original
-// single-threaded kernels are retained under tensor::reference as the
-// exact-equality oracle for tests.
+// (src/tensor/parallel.h), with the inner loops routed through the
+// runtime-dispatched SIMD kernel tier (src/tensor/simd.h: scalar, AVX2/FMA,
+// NEON). Every kernel keeps the canonical fused accumulation order defined
+// by the scalar backend, so results are byte-identical for any thread count
+// and any backend. The original single-threaded mul-then-add kernels are
+// retained under tensor::reference as the test oracle; the canonical fused
+// kernels agree with them within a small ULP bound
+// (tests/test_simd_kernels.cpp), not bitwise.
 #pragma once
 
 #include <cstdint>
@@ -92,9 +96,11 @@ Tensor scale(const Tensor& a, float s);
 /// Numerically stable row-wise softmax over the last axis of a 2-D tensor.
 Tensor softmax_rows(const Tensor& logits);
 
-/// Retained naive single-threaded kernels: the exact-equality oracle for the
-/// blocked/parallel implementations above (tests/test_parallel_kernels.cpp
-/// asserts bitwise agreement), and a readable spec of the arithmetic.
+/// Retained naive single-threaded kernels: the oracle for the
+/// blocked/parallel implementations above (tests assert agreement within a
+/// tight ULP bound — the dispatched kernels accumulate with fused
+/// multiply-adds, these keep separate mul/add roundings), and a readable
+/// spec of the arithmetic.
 namespace reference {
 Tensor matmul(const Tensor& a, const Tensor& b);
 void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out);

@@ -1,16 +1,21 @@
-// Multi-thread sampling determinism: diffusion::sample_streams must emit
-// byte-identical topologies for the same per-slot RNG streams no matter how
-// many threads the compute pool runs — the guarantee that lets the service
-// scale the reverse-diffusion hot path across cores without perturbing any
-// request's output.
+// Sampling determinism: diffusion::sample_streams must emit byte-identical
+// topologies for the same per-slot RNG streams no matter how many threads
+// the compute pool runs and no matter which SIMD kernel backend dispatch
+// selects — the guarantee that lets the service scale the
+// reverse-diffusion hot path without perturbing any request's output. A
+// pinned FNV-1a golden digest of the sampled bytes turns silent cross-PR
+// byte drift into a loud failure.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
 #include "common/compute_pool.h"
 #include "common/rng.h"
 #include "diffusion/diffusion.h"
+#include "tensor/simd.h"
+#include "ulp_test_util.h"
 
 namespace dd = diffpattern::diffusion;
 namespace dc = diffpattern::common;
@@ -51,6 +56,23 @@ Tensor run_sample_streams(du::UNet& model, const dd::BinarySchedule& schedule,
                             dd::SamplerConfig{}, ptrs);
 }
 
+std::uint64_t fnv1a64(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t digest(const Tensor& t) {
+  return fnv1a64(t.data(), static_cast<std::size_t>(t.numel()) *
+                               sizeof(float));
+}
+
+using diffpattern::testutil::BackendGuard;
+
 }  // namespace
 
 TEST(SamplingDeterminism, SampleStreamsByteIdenticalAcrossThreadCounts) {
@@ -66,5 +88,59 @@ TEST(SamplingDeterminism, SampleStreamsByteIdenticalAcrossThreadCounts) {
       << "1-thread vs 2-thread sampling diverged";
   EXPECT_EQ(std::memcmp(at_1.data(), at_8.data(), bytes), 0)
       << "1-thread vs 8-thread sampling diverged";
+  EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
+}
+
+TEST(SamplingDeterminism, SampleStreamsByteIdenticalAcrossKernelBackends) {
+  BackendGuard guard;
+  du::UNet model(micro_config(), /*seed=*/91);
+  dd::BinarySchedule schedule(dd::ScheduleConfig{.steps = 6});
+  ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(
+                  diffpattern::tensor::KernelBackend::kScalar)
+                  .ok());
+  const Tensor scalar_out = run_sample_streams(model, schedule, 1);
+  for (const auto backend : {diffpattern::tensor::KernelBackend::kAvx2,
+                             diffpattern::tensor::KernelBackend::kNeon}) {
+    if (!diffpattern::tensor::kernel_backend_supported(backend)) {
+      continue;
+    }
+    ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(backend).ok());
+    const Tensor vector_out = run_sample_streams(model, schedule, 1);
+    ASSERT_TRUE(scalar_out.same_shape(vector_out));
+    EXPECT_EQ(std::memcmp(scalar_out.data(), vector_out.data(),
+                          static_cast<std::size_t>(scalar_out.numel()) *
+                              sizeof(float)),
+              0)
+        << "scalar vs "
+        << diffpattern::tensor::kernel_backend_label(backend)
+        << " sampling diverged";
+  }
+  EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
+}
+
+// Golden determinism regression: the FNV-1a digest of the sampled bytes for
+// this fixed (model seed, RNG seed, count) is pinned. It is computed under
+// forced scalar dispatch and 1 thread — the canonical semantics every
+// backend must reproduce — so the constant is host-independent (modulo the
+// host libm's exp/tanh, which CI holds fixed). If this fails after a kernel
+// change, the PR changed the canonical accumulation semantics: that must be
+// an explicit, called-out decision (update the constant in its own commit
+// line), never a silent rebaseline.
+TEST(SamplingDeterminism, GoldenDigestPinnedUnderScalarDispatch) {
+  BackendGuard guard;
+  ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(
+                  diffpattern::tensor::KernelBackend::kScalar)
+                  .ok());
+  du::UNet model(micro_config(), /*seed=*/91);
+  dd::BinarySchedule schedule(dd::ScheduleConfig{.steps = 6});
+  const std::uint64_t run1 = digest(run_sample_streams(model, schedule, 1));
+  const std::uint64_t run2 = digest(run_sample_streams(model, schedule, 1));
+  EXPECT_EQ(run1, run2) << "same-process replay diverged";
+  const std::uint64_t threaded =
+      digest(run_sample_streams(model, schedule, 8));
+  EXPECT_EQ(run1, threaded) << "thread count leaked into the bytes";
+  constexpr std::uint64_t kGoldenDigest = 0x7373f45c5b440cb3ULL;
+  EXPECT_EQ(run1, kGoldenDigest)
+      << "sampled bytes drifted from the pinned golden digest";
   EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
 }

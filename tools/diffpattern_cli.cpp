@@ -26,6 +26,7 @@
 
 #include "common/compute_pool.h"
 #include "core/pipeline.h"
+#include "tensor/simd.h"
 #include "drc/checker.h"
 #include "io/gds.h"
 #include "io/io.h"
@@ -78,7 +79,10 @@ int usage() {
       "  export-gds --library library.bin --out patterns.gds [--layer N]\n\n"
       "Every subcommand accepts --threads N to size the compute pool used\n"
       "by the numeric kernels (default: DIFFPATTERN_THREADS env, else all\n"
-      "hardware threads). Results are identical for every thread count.\n"
+      "hardware threads) and --kernel-backend scalar|avx2|neon|auto to pin\n"
+      "the SIMD dispatch (default: DIFFPATTERN_KERNEL_BACKEND env, else the\n"
+      "best backend this CPU supports; unsupported ISAs are a usage error).\n"
+      "Results are identical for every thread count and backend.\n"
       "generate --stream prints each pattern (index + legality) as it is\n"
       "delivered; --stats dumps the service counters after the run.\n"
       "--priority ranks the request against concurrent service traffic,\n"
@@ -98,6 +102,20 @@ void apply_thread_option(const Args& args) {
   const auto status = dp::common::set_global_compute_threads(requested);
   if (!status.ok()) {
     throw UsageError("--threads: " + status.message());
+  }
+}
+
+/// Applies --kernel-backend to the process-wide SIMD dispatch before any
+/// kernel runs. Unknown names and ISAs this host cannot execute are usage
+/// errors, mirroring the --threads 0 contract.
+void apply_kernel_backend_option(const Args& args) {
+  if (!args.has("kernel-backend")) {
+    return;
+  }
+  const auto status =
+      dp::tensor::set_kernel_backend_name(args.get("kernel-backend", ""));
+  if (!status.ok()) {
+    throw UsageError("--kernel-backend: " + status.message());
   }
 }
 
@@ -336,6 +354,7 @@ int main(int argc, char** argv) {
   }
   try {
     apply_thread_option(args);
+    apply_kernel_backend_option(args);
     if (args.command == "train") {
       return cmd_train(args);
     }
