@@ -133,6 +133,14 @@ std::string write_bench_json(
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"" << name << "\",\n"
+       << "  \"schema_version\": " << kBenchJsonSchemaVersion << ",\n"
+       << "  \"git_describe\": \"" <<
+#ifdef DP_GIT_DESCRIBE
+      DP_GIT_DESCRIBE
+#else
+      "unknown"
+#endif
+       << "\",\n"
        << "  \"scale\": \"" << current_scale().name << "\",\n"
        << "  \"threads\": " << diffpattern::common::global_compute_threads();
   json << std::setprecision(9);

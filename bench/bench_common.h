@@ -57,10 +57,16 @@ service::GenerateResult service_generate(std::int64_t count,
 /// Prints a horizontal rule + title to stdout (uniform bench headers).
 void print_header(const std::string& title);
 
+/// Schema of the BENCH_*.json objects below. Bump when a standing key is
+/// renamed/removed or its meaning changes (adding metrics is not a bump);
+/// trend tooling keys off it before comparing points across PRs.
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
 /// Writes bench_out/BENCH_<name>.json: one flat JSON object holding the
-/// bench name, the DP_BENCH_SCALE in effect, the compute-pool thread count,
-/// and the given metrics — the machine-readable points of the perf
-/// trajectory (CI uploads them as artifacts). Returns the path written.
+/// bench name, the schema version, the git describe string of the build,
+/// the DP_BENCH_SCALE in effect, the compute-pool thread count, and the
+/// given metrics — the machine-readable points of the perf trajectory (CI
+/// uploads them as artifacts). Returns the path written.
 std::string write_bench_json(
     const std::string& name,
     const std::vector<std::pair<std::string, double>>& metrics);

@@ -1,0 +1,302 @@
+// Distributed routing: load-aware placement vs a round-robin control over
+// a 3-worker x 2-model loopback topology with one deliberately saturated
+// worker.
+//
+// worker-0 holds a parked pull-stream on model "alpha" (stream buffer 1,
+// never drained), pinning its admission window open for the whole bench —
+// a deterministic stand-in for a hot replica. The same request storm is
+// then routed twice through identical replica tables:
+//   * round-robin (load-blind control): every third pick lands on the
+//     saturated worker, whose alpha requests shed and must redirect;
+//   * power-of-two-choices over reported health, refreshed every request:
+//     the router reads worker-0's admission depth and steers around it.
+// The claims measured: the load-aware policy encounters a strictly lower
+// shed rate than round-robin, sends less traffic to the saturated worker,
+// and — the standing invariant — every completed request's bytes are
+// identical across policies, replicas, and redirects.
+// Emits BENCH_router.json.
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "dist/router.h"
+#include "dist/transport.h"
+#include "dist/worker_node.h"
+#include "service/pattern_service.h"
+#include "unet/unet.h"
+
+namespace dp = diffpattern;
+namespace dd = diffpattern::dist;
+namespace ds = diffpattern::service;
+
+namespace {
+
+constexpr int kWorkers = 3;
+constexpr int kRequestsPerPolicy = 30;  // Alternating alpha / beta.
+const char* const kModels[] = {"alpha", "beta"};
+
+/// The service tests' mini model: small enough that untrained sampling
+/// keeps the whole bench in seconds (routing behavior, not model quality,
+/// is what this bench measures).
+ds::ModelConfig mini_model_config() {
+  ds::ModelConfig cfg;
+  cfg.grid_side = 16;
+  cfg.channels = 4;
+  cfg.schedule = {.steps = 6, .beta_start = 0.01, .beta_end = 0.5};
+  cfg.model_channels = 8;
+  cfg.channel_mult = {1, 2};
+  cfg.num_res_blocks = 1;
+  cfg.attention_levels = {};
+  cfg.dropout = 0.0F;
+  return cfg;
+}
+
+bool same_patterns(const std::vector<dp::layout::SquishPattern>& a,
+                   const std::vector<dp::layout::SquishPattern>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].topology == b[i].topology && a[i].dx == b[i].dx &&
+          a[i].dy == b[i].dy)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+bool wait_for(const std::function<bool()>& pred, int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+ds::GenerateRequest request_for(int index) {
+  ds::GenerateRequest request;
+  request.model = kModels[index % 2];
+  request.count = 2;
+  request.seed = 9000 + static_cast<std::uint64_t>(index);
+  return request;
+}
+
+struct StormResult {
+  std::vector<double> latencies;  // Seconds, completed requests.
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  dd::RouterCounters router;
+  std::int64_t worker0_calls = 0;  // Generate frames that reached worker-0.
+  std::vector<ds::GenerateResult> results;  // Indexed by request.
+};
+
+StormResult run_storm(dd::ReplicaRouter& router, dd::WorkerNode& worker0) {
+  StormResult out;
+  const std::int64_t calls_before = worker0.wire_counters().generate_calls;
+  out.results.resize(kRequestsPerPolicy);
+  for (int i = 0; i < kRequestsPerPolicy; ++i) {
+    dp::common::Timer timer;
+    auto result = router.generate(request_for(i));
+    if (result.ok()) {
+      out.latencies.push_back(timer.seconds());
+      out.results[static_cast<std::size_t>(i)] = std::move(result).value();
+      ++out.completed;
+    } else {
+      ++out.failed;
+      std::cerr << "[bench] routed request " << i
+                << " failed: " << result.status().to_string() << "\n";
+    }
+  }
+  out.router = router.counters();
+  out.worker0_calls = worker0.wire_counters().generate_calls - calls_before;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  dp::bench::print_header(
+      "Replica routing: load-aware placement vs round-robin over a "
+      "saturated worker");
+
+  // Shared trained-weights objects per model: every worker registers the
+  // SAME weights, the precondition for cross-replica byte identity.
+  const ds::ModelConfig model_cfg = mini_model_config();
+  const dp::unet::UNet alpha_weights(model_cfg.unet_config(), /*seed=*/3);
+  const dp::unet::UNet beta_weights(model_cfg.unet_config(), /*seed=*/4);
+
+  dd::LoopbackTransport transport;
+  std::vector<std::unique_ptr<dd::WorkerNode>> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    ds::ServiceConfig config;
+    config.legalize_workers = 2;
+    config.max_fused_batch = 8;
+    if (w == 0) {
+      // The to-be-saturated worker: shed as soon as one request is in
+      // flight on a shard, and buffer at most one stream delivery so a
+      // parked consumer pins the admission window open.
+      config.flow.max_queue_depth = 4;
+      config.flow.shed_queue_depth = 1;
+      config.flow.shed_fill_ratio = 0.0;
+      config.flow.retry_after_ms = 10;
+      config.flow.stream_buffer_limit = 1;
+    } else {
+      config.flow.max_queue_depth = 64;
+      config.flow.shed_queue_depth = 64;
+      config.flow.shed_fill_ratio = 0.0;
+      config.flow.retry_after_ms = 10;
+    }
+    auto node = std::make_unique<dd::WorkerNode>(
+        "worker-" + std::to_string(w), transport, config);
+    for (const char* model : kModels) {
+      const auto& weights =
+          std::string(model) == "alpha" ? alpha_weights : beta_weights;
+      const auto status = node->service().models().register_model(
+          model, model_cfg, weights.registry(), {});
+      if (!status.ok()) {
+        std::cerr << "[bench] model registration failed: "
+                  << status.to_string() << "\n";
+        return 1;
+      }
+    }
+    workers.push_back(std::move(node));
+  }
+
+  // Saturate worker-0: a pull-stream whose handle is never drained parks
+  // at the 1-delivery buffer bound, holding its admission slot until the
+  // handle is destroyed — overload that lasts exactly as long as the
+  // bench wants it to. count=2 on purpose: exactly one undelivered slot
+  // can block on the full buffer, so one of the two legalize workers
+  // stays free and requests admitted to worker-0 still make progress.
+  ds::GenerateRequest parked_request;
+  parked_request.model = "alpha";
+  parked_request.count = 2;
+  parked_request.seed = 1;
+  std::optional<ds::StreamHandle> parked(
+      workers[0]->service().generate_stream(parked_request));
+  if (!wait_for([&] {
+        const auto counters = workers[0]->service().counters();
+        return counters.admission_pending >= 1 && counters.stream_pauses >= 1;
+      })) {
+    std::cerr << "[bench] worker-0 never saturated\n";
+    return 1;
+  }
+  std::cout << "[bench] worker-0 saturated (admission window held by a "
+               "parked stream); storming "
+            << kRequestsPerPolicy << " requests per policy over " << kWorkers
+            << " workers x 2 models...\n";
+
+  // Control arm: round-robin, load-blind.
+  dd::RouterConfig rr_config;
+  rr_config.policy = dd::RouterConfig::Policy::kRoundRobin;
+  rr_config.health_refresh_every = 0;
+  dd::ReplicaRouter rr_router(rr_config);
+  // Treatment arm: power-of-two-choices with health refreshed per request.
+  dd::RouterConfig la_config;
+  la_config.policy = dd::RouterConfig::Policy::kLoadAware;
+  la_config.seed = 17;
+  la_config.health_refresh_every = 1;
+  dd::ReplicaRouter la_router(la_config);
+  for (auto& node : workers) {
+    for (const char* model : kModels) {
+      rr_router.add_replica(model, transport.connect(node->name()));
+      la_router.add_replica(model, transport.connect(node->name()));
+    }
+  }
+
+  const StormResult rr = run_storm(rr_router, *workers[0]);
+  const StormResult la = run_storm(la_router, *workers[0]);
+
+  // Release the saturated worker, then verify bit-identity: every request,
+  // under either policy, must match a direct unloaded run on worker-1's
+  // service (identical weights, no wire).
+  parked.reset();  // Destroying the handle cancels the parked stream.
+  bool identical = true;
+  for (int i = 0; i < kRequestsPerPolicy && identical; ++i) {
+    const auto golden = workers[1]->service().generate(request_for(i));
+    identical = golden.ok() &&
+                same_patterns(golden->patterns,
+                              rr.results[static_cast<std::size_t>(i)].patterns) &&
+                same_patterns(golden->patterns,
+                              la.results[static_cast<std::size_t>(i)].patterns);
+  }
+
+  const auto shed_rate = [](const StormResult& s) {
+    return s.router.requests > 0
+               ? static_cast<double>(s.router.redirects + s.router.sheds_returned) /
+                     static_cast<double>(s.router.requests)
+               : 0.0;
+  };
+  const double rr_shed_rate = shed_rate(rr);
+  const double la_shed_rate = shed_rate(la);
+  const double rr_p50 = percentile(rr.latencies, 0.50) * 1000.0;
+  const double rr_p99 = percentile(rr.latencies, 0.99) * 1000.0;
+  const double la_p50 = percentile(la.latencies, 0.50) * 1000.0;
+  const double la_p99 = percentile(la.latencies, 0.99) * 1000.0;
+  const bool all_completed = rr.failed == 0 && la.failed == 0;
+  const bool load_aware_wins = la_shed_rate < rr_shed_rate;
+
+  std::cout << "\n                         round-robin    load-aware\n"
+            << "completed:               " << rr.completed << " / "
+            << kRequestsPerPolicy << "        " << la.completed << " / "
+            << kRequestsPerPolicy << "\n"
+            << "shed encounters:         " << rr.router.redirects << "   "
+            << "        " << la.router.redirects << "\n"
+            << "shed rate:               " << rr_shed_rate << "       "
+            << la_shed_rate << "\n"
+            << "worker-0 generate calls: " << rr.worker0_calls << "  "
+            << "        " << la.worker0_calls << "\n"
+            << "latency p50 / p99 (ms):  " << rr_p50 << " / " << rr_p99
+            << "    " << la_p50 << " / " << la_p99 << "\n"
+            << "bit-identical bytes:     " << (identical ? "yes" : "NO")
+            << "\n"
+            << "load-aware < round-robin shed rate: "
+            << (load_aware_wins ? "yes" : "NO") << "\n";
+
+  dp::bench::write_bench_json(
+      "router",
+      {{"workers", static_cast<double>(kWorkers)},
+       {"models", 2.0},
+       {"requests_per_policy", static_cast<double>(kRequestsPerPolicy)},
+       {"round_robin_completed", static_cast<double>(rr.completed)},
+       {"round_robin_shed_rate", rr_shed_rate},
+       {"round_robin_redirects", static_cast<double>(rr.router.redirects)},
+       {"round_robin_worker0_calls", static_cast<double>(rr.worker0_calls)},
+       {"round_robin_p50_ms", rr_p50},
+       {"round_robin_p99_ms", rr_p99},
+       {"load_aware_completed", static_cast<double>(la.completed)},
+       {"load_aware_shed_rate", la_shed_rate},
+       {"load_aware_redirects", static_cast<double>(la.router.redirects)},
+       {"load_aware_worker0_calls", static_cast<double>(la.worker0_calls)},
+       {"load_aware_p50_ms", la_p50},
+       {"load_aware_p99_ms", la_p99},
+       {"load_aware_beats_round_robin", load_aware_wins ? 1.0 : 0.0},
+       {"bit_identical", identical ? 1.0 : 0.0}});
+
+  // Pass criteria: both policies completed everything (redirects absorb
+  // the sheds), the load-aware router encountered strictly fewer sheds
+  // than the load-blind control, and routing was invisible in the bytes.
+  return (all_completed && load_aware_wins && identical) ? 0 : 1;
+}

@@ -53,6 +53,51 @@ std::string ServiceCounters::to_string() const {
   return out.str();
 }
 
+std::string ServiceCounters::to_json() const {
+  std::ostringstream out;
+  // Strings here are backend/pool identifiers (no quotes or control
+  // characters to escape by construction).
+  out << "{";
+  out << "\"kernel_backend\":\"" << kernel_backend << "\"";
+  out << ",\"compute_pool\":\"" << compute_pool << "\"";
+  out << ",\"queue_depth\":" << queue_depth;
+  out << ",\"queue_depth_peak\":" << queue_depth_peak;
+  out << ",\"admission_pending\":" << admission_pending;
+  out << ",\"admission_pending_peak\":" << admission_pending_peak;
+  out << ",\"shards_active\":" << shards_active;
+  out << ",\"shards_spawned\":" << shards_spawned;
+  out << ",\"rounds_executed\":" << rounds_executed;
+  out << ",\"denoise_steps\":" << denoise_steps;
+  out << ",\"fused_slots_total\":" << fused_slots_total;
+  out << ",\"max_round_slots\":" << max_round_slots;
+  out << ",\"fused_fill_ratio\":" << fused_fill_ratio;
+  out << ",\"requests_accepted\":" << requests_accepted;
+  out << ",\"requests_completed\":" << requests_completed;
+  out << ",\"stream_deliveries\":" << stream_deliveries;
+  out << ",\"patterns_delivered\":" << patterns_delivered;
+  out << ",\"requests_shed\":" << requests_shed;
+  out << ",\"requests_degraded\":" << requests_degraded;
+  out << ",\"deadlines_expired\":" << deadlines_expired;
+  out << ",\"jobs_cancelled\":" << jobs_cancelled;
+  out << ",\"streams_abandoned\":" << streams_abandoned;
+  out << ",\"stream_pauses\":" << stream_pauses;
+  out << ",\"rejects_by_code\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < rejects_by_code.size(); ++i) {
+    if (rejects_by_code[i] == 0) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << common::to_string(static_cast<StatusCode>(i))
+        << "\":" << rejects_by_code[i];
+  }
+  out << "}}";
+  return out.str();
+}
+
 ServiceCounters CounterBlock::snapshot(std::int64_t max_fused_batch) const {
   ServiceCounters s;
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);

@@ -85,6 +85,11 @@ struct ServiceCounters {
 
   /// Multi-line human-readable dump (the CLI --stats format).
   std::string to_string() const;
+
+  /// Machine-readable single-line JSON object (the CLI --stats-json
+  /// format): every counter keyed by its field name, rejects keyed by
+  /// canonical code name under "rejects_by_code".
+  std::string to_json() const;
 };
 
 /// The live atomic counter set. Recording is thread-safe and wait-free;

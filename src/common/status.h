@@ -26,14 +26,15 @@ enum class StatusCode {
   kUnavailable = 5,       // Transient overload / shutdown; retry later.
   kResourceExhausted = 6,  // Hard admission budget exhausted; back off.
   kDeadlineExceeded = 7,   // Request deadline expired before completion.
+  kDataLoss = 8,           // Serialized bytes corrupt or truncated.
   // When adding a code, bump kStatusCodeCount below — per-code arrays
   // (e.g. the reject counters) are sized with it.
 };
 
 /// Number of StatusCode enumerators; indexes per-code arrays like the
 /// service's rejects_by_code counters.
-inline constexpr std::size_t kStatusCodeCount = 8;
-static_assert(static_cast<std::size_t>(StatusCode::kDeadlineExceeded) + 1 ==
+inline constexpr std::size_t kStatusCodeCount = 9;
+static_assert(static_cast<std::size_t>(StatusCode::kDataLoss) + 1 ==
                   kStatusCodeCount,
               "kStatusCodeCount must cover every StatusCode enumerator");
 
@@ -83,6 +84,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

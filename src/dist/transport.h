@@ -1,0 +1,78 @@
+// Transport abstraction between routers/clients and worker nodes.
+//
+// A Channel is one client's connection to one worker endpoint: call() sends
+// a request buffer and blocks for the response buffer. The only built-in
+// implementation is the in-process LoopbackTransport — a name -> handler
+// registry that lets tests and benches run a multi-worker topology inside
+// one binary — but the Channel seam is exactly where a socket transport
+// slots in later: the wire bytes crossing it are already endian-fixed and
+// versioned.
+//
+// Failure semantics mirror a real network: calling a channel whose endpoint
+// was unregistered (worker shut down) or marked unreachable (partition
+// injection for failover tests) returns UNAVAILABLE, not UB. A handler that
+// throws is caught at the boundary and surfaces as INTERNAL.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/wire.h"
+
+namespace diffpattern::dist {
+
+/// Serves one request buffer; the returned buffer may hold one frame or a
+/// concatenation of frames (streaming responses).
+using WireHandler = std::function<Bytes(const Bytes& request)>;
+
+/// One client connection to one endpoint. Thread-safe: call() may be issued
+/// from any thread.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual common::Result<Bytes> call(const Bytes& request) = 0;
+  /// Endpoint name this channel targets (stable; used in router logs).
+  virtual const std::string& endpoint() const = 0;
+};
+
+/// In-process transport: a registry of named endpoints. Channels obtained
+/// via connect() stay valid after the transport mutates — a call through a
+/// channel whose endpoint has vanished fails with UNAVAILABLE (the moral
+/// equivalent of a connection refused).
+class LoopbackTransport {
+ public:
+  LoopbackTransport();
+  ~LoopbackTransport();
+
+  LoopbackTransport(const LoopbackTransport&) = delete;
+  LoopbackTransport& operator=(const LoopbackTransport&) = delete;
+
+  /// Registers (or replaces) an endpoint. The handler is invoked on the
+  /// caller's thread.
+  void register_endpoint(const std::string& name, WireHandler handler);
+  /// Removes an endpoint; existing channels to it start failing.
+  void unregister_endpoint(const std::string& name);
+  /// Partition injection: an unreachable endpoint stays registered but all
+  /// calls to it fail with UNAVAILABLE until re-enabled.
+  void set_endpoint_reachable(const std::string& name, bool reachable);
+
+  /// Returns a channel to `name`. Connecting to a not-yet-registered
+  /// endpoint is allowed (calls fail until it registers), matching how a
+  /// router can be configured before its workers come up.
+  std::shared_ptr<Channel> connect(const std::string& name);
+
+  /// Opaque shared endpoint table (public so the channel implementation in
+  /// transport.cpp can hold it; the definition never leaves that file).
+  struct Registry;
+
+ private:
+  std::shared_ptr<Registry> registry_;
+};
+
+}  // namespace diffpattern::dist

@@ -1,0 +1,648 @@
+#include "dist/wire.h"
+
+#include <bit>
+#include <cstddef>
+#include <utility>
+
+namespace diffpattern::dist {
+namespace {
+
+using common::Result;
+using common::Status;
+
+// -- little-endian writer (explicit byte shifts: deterministic on any
+//    host endianness) --
+
+void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+void put_i64(Bytes& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_i32(Bytes& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(Bytes& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_bool(Bytes& out, bool v) { put_u8(out, v ? 1 : 0); }
+
+void put_string(Bytes& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// -- bounds-checked reader --
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+  bool read_u8(std::uint8_t& out) {
+    if (remaining() < 1) {
+      return false;
+    }
+    out = data_[pos_++];
+    return true;
+  }
+  bool read_u16(std::uint16_t& out) {
+    if (remaining() < 2) {
+      return false;
+    }
+    out = static_cast<std::uint16_t>(data_[pos_] |
+                                     (std::uint16_t{data_[pos_ + 1]} << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool read_u32(std::uint32_t& out) {
+    if (remaining() < 4) {
+      return false;
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool read_u64(std::uint64_t& out) {
+    if (remaining() < 8) {
+      return false;
+    }
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool read_i64(std::int64_t& out) {
+    std::uint64_t raw = 0;
+    if (!read_u64(raw)) {
+      return false;
+    }
+    out = static_cast<std::int64_t>(raw);
+    return true;
+  }
+  bool read_i32(std::int32_t& out) {
+    std::uint32_t raw = 0;
+    if (!read_u32(raw)) {
+      return false;
+    }
+    out = static_cast<std::int32_t>(raw);
+    return true;
+  }
+  bool read_f64(double& out) {
+    std::uint64_t raw = 0;
+    if (!read_u64(raw)) {
+      return false;
+    }
+    out = std::bit_cast<double>(raw);
+    return true;
+  }
+  bool read_bool(bool& out) {
+    std::uint8_t raw = 0;
+    if (!read_u8(raw)) {
+      return false;
+    }
+    out = raw != 0;
+    return true;
+  }
+  /// Length-prefixed string: the length is checked against the remaining
+  /// bytes BEFORE any allocation, so a hostile prefix cannot drive a
+  /// multi-gigabyte reserve. Returns an error status on failure.
+  Status read_string(std::string& out, std::size_t max_bytes,
+                     const char* what) {
+    std::uint32_t len = 0;
+    if (!read_u32(len)) {
+      return Status::DataLoss(std::string("truncated ") + what + " length");
+    }
+    if (len > max_bytes) {
+      return Status::InvalidArgument(std::string(what) + " exceeds " +
+                                     std::to_string(max_bytes) + " bytes");
+    }
+    if (len > remaining()) {
+      return Status::DataLoss(std::string("truncated ") + what + " body");
+    }
+    out.assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// -- frame header --
+
+void put_header(Bytes& out, MessageType type) {
+  put_u32(out, kWireMagic);
+  put_u16(out, kWireVersion);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u32(out, 0);  // payload length, patched by seal_frame.
+}
+
+void seal_frame(Bytes& out) {
+  const auto payload = static_cast<std::uint32_t>(out.size() -
+                                                  kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    out[8 + i] = static_cast<std::uint8_t>((payload >> (8 * i)) & 0xFF);
+  }
+}
+
+bool known_type(std::uint16_t raw) {
+  return raw >= static_cast<std::uint16_t>(MessageType::kGenerateRequest) &&
+         raw <= static_cast<std::uint16_t>(MessageType::kStreamEnd);
+}
+
+/// Validates one frame header at `frame[offset]`. On success fills `type`
+/// and `payload_len`.
+Status check_header(const Bytes& frame, std::size_t offset, MessageType& type,
+                    std::size_t& payload_len) {
+  if (frame.size() - offset < kFrameHeaderBytes) {
+    return Status::DataLoss("frame shorter than header");
+  }
+  Reader reader(frame.data() + offset, frame.size() - offset);
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint16_t raw_type = 0;
+  std::uint32_t len = 0;
+  (void)reader.read_u32(magic);
+  (void)reader.read_u16(version);
+  (void)reader.read_u16(raw_type);
+  (void)reader.read_u32(len);
+  if (magic != kWireMagic) {
+    return Status::DataLoss("bad frame magic");
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version));
+  }
+  if (!known_type(raw_type)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(raw_type));
+  }
+  if (len > frame.size() - offset - kFrameHeaderBytes) {
+    return Status::DataLoss("payload length exceeds buffer");
+  }
+  type = static_cast<MessageType>(raw_type);
+  payload_len = len;
+  return Status::Ok();
+}
+
+/// Validates the single frame `frame` is exactly one message of `want` and
+/// returns a reader positioned at its payload.
+Result<Reader> open_frame(const Bytes& frame, MessageType want) {
+  MessageType type{};
+  std::size_t payload_len = 0;
+  if (Status s = check_header(frame, 0, type, payload_len); !s.ok()) {
+    return s;
+  }
+  if (type != want) {
+    return Status::InvalidArgument(
+        "wrong frame type " +
+        std::to_string(static_cast<std::uint16_t>(type)) + ", want " +
+        std::to_string(static_cast<std::uint16_t>(want)));
+  }
+  if (kFrameHeaderBytes + payload_len != frame.size()) {
+    return Status::DataLoss("trailing bytes after frame payload");
+  }
+  return Reader(frame.data() + kFrameHeaderBytes, payload_len);
+}
+
+// -- squish pattern --
+
+void put_pattern(Bytes& out, const layout::SquishPattern& p) {
+  put_u32(out, static_cast<std::uint32_t>(p.topology.rows()));
+  put_u32(out, static_cast<std::uint32_t>(p.topology.cols()));
+  out.insert(out.end(), p.topology.cells().begin(), p.topology.cells().end());
+  for (const geometry::Coord c : p.dx) {
+    put_i64(out, c);
+  }
+  for (const geometry::Coord c : p.dy) {
+    put_i64(out, c);
+  }
+}
+
+Status read_pattern(Reader& reader, layout::SquishPattern& out) {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  if (!reader.read_u32(rows) || !reader.read_u32(cols)) {
+    return Status::DataLoss("truncated pattern dimensions");
+  }
+  const std::uint64_t cells = std::uint64_t{rows} * cols;
+  // Cells (1 byte each) plus deltas (8 bytes each) must fit in what is
+  // actually left — checked before any allocation.
+  const std::uint64_t need = cells + 8ULL * (std::uint64_t{rows} + cols);
+  if (need > reader.remaining()) {
+    return Status::DataLoss("pattern dimensions exceed buffer");
+  }
+  geometry::BinaryGrid grid(static_cast<std::int64_t>(rows),
+                            static_cast<std::int64_t>(cols));
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      std::uint8_t cell = 0;
+      (void)reader.read_u8(cell);  // Covered by the `need` check above.
+      if (cell > 1) {
+        return Status::DataLoss("topology cell is not 0/1");
+      }
+      grid.set(static_cast<std::int64_t>(r), static_cast<std::int64_t>(c),
+               cell);
+    }
+  }
+  out.topology = std::move(grid);
+  out.dx.assign(cols, 0);
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    (void)reader.read_i64(out.dx[c]);
+  }
+  out.dy.assign(rows, 0);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    (void)reader.read_i64(out.dy[r]);
+  }
+  return Status::Ok();
+}
+
+void put_patterns(Bytes& out,
+                  const std::vector<layout::SquishPattern>& patterns) {
+  put_u32(out, static_cast<std::uint32_t>(patterns.size()));
+  for (const auto& p : patterns) {
+    put_pattern(out, p);
+  }
+}
+
+Status read_patterns(Reader& reader,
+                     std::vector<layout::SquishPattern>& out) {
+  std::uint32_t count = 0;
+  if (!reader.read_u32(count)) {
+    return Status::DataLoss("truncated pattern count");
+  }
+  // Every pattern needs at least its 8-byte dimension header.
+  if (std::uint64_t{count} * 8 > reader.remaining()) {
+    return Status::DataLoss("pattern count exceeds buffer");
+  }
+  out.clear();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    layout::SquishPattern p;
+    if (Status s = read_pattern(reader, p); !s.ok()) {
+      return s;
+    }
+    out.push_back(std::move(p));
+  }
+  return Status::Ok();
+}
+
+// -- status / stats payloads (shared by several frames) --
+
+void put_status(Bytes& out, const Status& status) {
+  put_u16(out, static_cast<std::uint16_t>(status.code()));
+  put_string(out, status.message());
+  put_i64(out, status.retry_after_ms());
+}
+
+Status read_status(Reader& reader, Status& out) {
+  std::uint16_t raw_code = 0;
+  if (!reader.read_u16(raw_code)) {
+    return Status::DataLoss("truncated status code");
+  }
+  if (raw_code >= common::kStatusCodeCount) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(raw_code));
+  }
+  std::string message;
+  if (Status s = reader.read_string(message, kMaxMessageBytes,
+                                    "status message");
+      !s.ok()) {
+    return s;
+  }
+  std::int64_t retry_after = 0;
+  if (!reader.read_i64(retry_after)) {
+    return Status::DataLoss("truncated status retry hint");
+  }
+  out = Status(static_cast<common::StatusCode>(raw_code), std::move(message))
+            .with_retry_after(retry_after);
+  return Status::Ok();
+}
+
+void put_stats(Bytes& out, const service::GenerateStats& stats) {
+  put_i64(out, stats.topologies_requested);
+  put_i64(out, stats.topologies_admitted);
+  put_bool(out, stats.degraded);
+  put_i64(out, stats.prefilter_rejected);
+  put_i64(out, stats.solver_rejected);
+  put_i64(out, stats.solver_rounds);
+  put_f64(out, stats.sampling_seconds);
+  put_f64(out, stats.solving_seconds);
+  put_i64(out, stats.fused_batch_slots);
+}
+
+Status read_stats(Reader& reader, service::GenerateStats& out) {
+  if (!reader.read_i64(out.topologies_requested) ||
+      !reader.read_i64(out.topologies_admitted) ||
+      !reader.read_bool(out.degraded) ||
+      !reader.read_i64(out.prefilter_rejected) ||
+      !reader.read_i64(out.solver_rejected) ||
+      !reader.read_i64(out.solver_rounds) ||
+      !reader.read_f64(out.sampling_seconds) ||
+      !reader.read_f64(out.solving_seconds) ||
+      !reader.read_i64(out.fused_batch_slots)) {
+    return Status::DataLoss("truncated generate stats");
+  }
+  return Status::Ok();
+}
+
+Status require_exhausted(const Reader& reader) {
+  if (!reader.exhausted()) {
+    return Status::DataLoss("trailing bytes inside frame payload");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+WorkerHealth health_from_counters(const std::string& worker,
+                                  std::uint64_t seq,
+                                  const common::ServiceCounters& counters) {
+  WorkerHealth health;
+  health.worker = worker;
+  health.seq = seq;
+  health.admission_pending = counters.admission_pending;
+  health.queue_depth_peak = counters.queue_depth_peak;
+  health.fused_fill_ratio = counters.fused_fill_ratio;
+  health.requests_shed = counters.requests_shed;
+  health.requests_accepted = counters.requests_accepted;
+  health.requests_completed = counters.requests_completed;
+  return health;
+}
+
+Bytes encode_generate_request(const service::GenerateRequest& request,
+                              MessageType type) {
+  Bytes out;
+  put_header(out, type);
+  put_string(out, request.model);
+  put_i64(out, request.count);
+  put_i64(out, request.geometries_per_topology);
+  put_string(out, request.rule_set);
+  put_u64(out, request.seed);
+  put_i32(out, request.priority);
+  put_i64(out, request.deadline_ms);
+  put_bool(out, request.allow_degrade);
+  seal_frame(out);
+  return out;
+}
+
+Bytes encode_generate_result(const service::GenerateResult& result) {
+  Bytes out;
+  put_header(out, MessageType::kGenerateResult);
+  put_patterns(out, result.patterns);
+  put_stats(out, result.stats);
+  seal_frame(out);
+  return out;
+}
+
+Bytes encode_streamed_pattern(const service::StreamedPattern& slot) {
+  Bytes out;
+  put_header(out, MessageType::kStreamedPattern);
+  put_i64(out, slot.index);
+  put_bool(out, slot.legal);
+  put_bool(out, slot.prefiltered);
+  put_patterns(out, slot.patterns);
+  seal_frame(out);
+  return out;
+}
+
+Bytes encode_status(const common::Status& status) {
+  Bytes out;
+  put_header(out, MessageType::kStatus);
+  put_status(out, status);
+  seal_frame(out);
+  return out;
+}
+
+Bytes encode_worker_health(const WorkerHealth& health) {
+  Bytes out;
+  put_header(out, MessageType::kWorkerHealth);
+  put_string(out, health.worker);
+  put_u64(out, health.seq);
+  put_i64(out, health.admission_pending);
+  put_i64(out, health.queue_depth_peak);
+  put_f64(out, health.fused_fill_ratio);
+  put_i64(out, health.requests_shed);
+  put_i64(out, health.requests_accepted);
+  put_i64(out, health.requests_completed);
+  seal_frame(out);
+  return out;
+}
+
+Bytes encode_health_probe() {
+  Bytes out;
+  put_header(out, MessageType::kHealthProbe);
+  seal_frame(out);
+  return out;
+}
+
+Bytes encode_stream_end(const common::Status& status,
+                        const service::GenerateStats& stats) {
+  Bytes out;
+  put_header(out, MessageType::kStreamEnd);
+  put_status(out, status);
+  put_stats(out, stats);
+  seal_frame(out);
+  return out;
+}
+
+common::Result<MessageType> peek_type(const Bytes& frame) {
+  MessageType type{};
+  std::size_t payload_len = 0;
+  if (Status s = check_header(frame, 0, type, payload_len); !s.ok()) {
+    return s;
+  }
+  return type;
+}
+
+common::Result<std::vector<Bytes>> split_frames(const Bytes& buffer) {
+  std::vector<Bytes> frames;
+  std::size_t offset = 0;
+  while (offset < buffer.size()) {
+    MessageType type{};
+    std::size_t payload_len = 0;
+    if (Status s = check_header(buffer, offset, type, payload_len); !s.ok()) {
+      return s;
+    }
+    const std::size_t frame_bytes = kFrameHeaderBytes + payload_len;
+    frames.emplace_back(buffer.begin() + static_cast<std::ptrdiff_t>(offset),
+                        buffer.begin() +
+                            static_cast<std::ptrdiff_t>(offset + frame_bytes));
+    offset += frame_bytes;
+  }
+  return frames;
+}
+
+common::Result<service::GenerateRequest> decode_generate_request(
+    const Bytes& frame) {
+  // Blocking and streaming requests share one payload shape; accept either
+  // tag so the worker can peek first and dispatch.
+  auto opened = open_frame(frame, MessageType::kGenerateRequest);
+  if (!opened.ok()) {
+    auto streamed = open_frame(frame, MessageType::kGenerateStreamRequest);
+    if (!streamed.ok()) {
+      return opened.status();
+    }
+    opened = std::move(streamed);
+  }
+  Reader reader = std::move(opened).value();
+  service::GenerateRequest request;
+  if (Status s = reader.read_string(request.model, kMaxNameBytes,
+                                    "model name");
+      !s.ok()) {
+    return s;
+  }
+  if (!reader.read_i64(request.count) ||
+      !reader.read_i64(request.geometries_per_topology)) {
+    return Status::DataLoss("truncated request counts");
+  }
+  if (Status s = reader.read_string(request.rule_set, kMaxNameBytes,
+                                    "rule set name");
+      !s.ok()) {
+    return s;
+  }
+  if (!reader.read_u64(request.seed) || !reader.read_i32(request.priority) ||
+      !reader.read_i64(request.deadline_ms) ||
+      !reader.read_bool(request.allow_degrade)) {
+    return Status::DataLoss("truncated request tail");
+  }
+  if (Status s = require_exhausted(reader); !s.ok()) {
+    return s;
+  }
+  return request;
+}
+
+common::Result<service::GenerateResult> decode_generate_result(
+    const Bytes& frame) {
+  auto opened = open_frame(frame, MessageType::kGenerateResult);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  Reader reader = std::move(opened).value();
+  service::GenerateResult result;
+  if (Status s = read_patterns(reader, result.patterns); !s.ok()) {
+    return s;
+  }
+  if (Status s = read_stats(reader, result.stats); !s.ok()) {
+    return s;
+  }
+  if (Status s = require_exhausted(reader); !s.ok()) {
+    return s;
+  }
+  return result;
+}
+
+common::Result<service::StreamedPattern> decode_streamed_pattern(
+    const Bytes& frame) {
+  auto opened = open_frame(frame, MessageType::kStreamedPattern);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  Reader reader = std::move(opened).value();
+  service::StreamedPattern slot;
+  if (!reader.read_i64(slot.index) || !reader.read_bool(slot.legal) ||
+      !reader.read_bool(slot.prefiltered)) {
+    return Status::DataLoss("truncated stream slot header");
+  }
+  if (Status s = read_patterns(reader, slot.patterns); !s.ok()) {
+    return s;
+  }
+  if (Status s = require_exhausted(reader); !s.ok()) {
+    return s;
+  }
+  return slot;
+}
+
+common::Result<StatusFrame> decode_status(const Bytes& frame) {
+  auto opened = open_frame(frame, MessageType::kStatus);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  Reader reader = std::move(opened).value();
+  StatusFrame decoded;
+  if (Status s = read_status(reader, decoded.status); !s.ok()) {
+    return s;
+  }
+  if (Status s = require_exhausted(reader); !s.ok()) {
+    return s;
+  }
+  return decoded;
+}
+
+common::Result<WorkerHealth> decode_worker_health(const Bytes& frame) {
+  auto opened = open_frame(frame, MessageType::kWorkerHealth);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  Reader reader = std::move(opened).value();
+  WorkerHealth health;
+  if (Status s = reader.read_string(health.worker, kMaxNameBytes,
+                                    "worker name");
+      !s.ok()) {
+    return s;
+  }
+  if (!reader.read_u64(health.seq) ||
+      !reader.read_i64(health.admission_pending) ||
+      !reader.read_i64(health.queue_depth_peak) ||
+      !reader.read_f64(health.fused_fill_ratio) ||
+      !reader.read_i64(health.requests_shed) ||
+      !reader.read_i64(health.requests_accepted) ||
+      !reader.read_i64(health.requests_completed)) {
+    return Status::DataLoss("truncated worker health");
+  }
+  if (Status s = require_exhausted(reader); !s.ok()) {
+    return s;
+  }
+  return health;
+}
+
+common::Result<StreamEnd> decode_stream_end(const Bytes& frame) {
+  auto opened = open_frame(frame, MessageType::kStreamEnd);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  Reader reader = std::move(opened).value();
+  StreamEnd end;
+  if (Status s = read_status(reader, end.status); !s.ok()) {
+    return s;
+  }
+  if (Status s = read_stats(reader, end.stats); !s.ok()) {
+    return s;
+  }
+  if (Status s = require_exhausted(reader); !s.ok()) {
+    return s;
+  }
+  return end;
+}
+
+}  // namespace diffpattern::dist

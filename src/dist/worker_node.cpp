@@ -1,0 +1,107 @@
+#include "dist/worker_node.h"
+
+#include <utility>
+
+namespace diffpattern::dist {
+
+std::string WorkerWireCounters::to_json() const {
+  std::string out = "{";
+  out += "\"calls\":" + std::to_string(calls);
+  out += ",\"generate_calls\":" + std::to_string(generate_calls);
+  out += ",\"stream_calls\":" + std::to_string(stream_calls);
+  out += ",\"health_probes\":" + std::to_string(health_probes);
+  out += ",\"decode_errors\":" + std::to_string(decode_errors);
+  out += "}";
+  return out;
+}
+
+WorkerNode::WorkerNode(std::string name, LoopbackTransport& transport,
+                       service::ServiceConfig config)
+    : name_(std::move(name)), transport_(transport), service_(config) {
+  transport_.register_endpoint(
+      name_, [this](const Bytes& request) { return handle(request); });
+}
+
+WorkerNode::~WorkerNode() { transport_.unregister_endpoint(name_); }
+
+WorkerHealth WorkerNode::health_snapshot() {
+  const std::uint64_t seq =
+      health_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return health_from_counters(name_, seq, service_.counters());
+}
+
+WorkerWireCounters WorkerNode::wire_counters() const {
+  WorkerWireCounters out;
+  out.calls = calls_.load(std::memory_order_relaxed);
+  out.generate_calls = generate_calls_.load(std::memory_order_relaxed);
+  out.stream_calls = stream_calls_.load(std::memory_order_relaxed);
+  out.health_probes = health_probes_.load(std::memory_order_relaxed);
+  out.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Bytes WorkerNode::handle(const Bytes& request) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  const auto type = peek_type(request);
+  if (!type.ok()) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return encode_status(type.status());
+  }
+  switch (type.value()) {
+    case MessageType::kGenerateRequest:
+      return handle_generate(request);
+    case MessageType::kGenerateStreamRequest:
+      return handle_stream(request);
+    case MessageType::kHealthProbe:
+      health_probes_.fetch_add(1, std::memory_order_relaxed);
+      return encode_worker_health(health_snapshot());
+    default:
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      return encode_status(common::Status::InvalidArgument(
+          "worker cannot serve message type " +
+          std::to_string(static_cast<std::uint16_t>(type.value()))));
+  }
+}
+
+Bytes WorkerNode::handle_generate(const Bytes& frame) {
+  auto request = decode_generate_request(frame);
+  if (!request.ok()) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return encode_status(request.status());
+  }
+  generate_calls_.fetch_add(1, std::memory_order_relaxed);
+  auto result = service_.generate(request.value());
+  if (!result.ok()) {
+    // Rejections (including sheds carrying retry_after hints) travel as a
+    // bare Status frame; the hint survives the wire round trip.
+    return encode_status(result.status());
+  }
+  return encode_generate_result(result.value());
+}
+
+Bytes WorkerNode::handle_stream(const Bytes& frame) {
+  auto request = decode_generate_request(frame);
+  if (!request.ok()) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return encode_status(request.status());
+  }
+  stream_calls_.fetch_add(1, std::memory_order_relaxed);
+  // The loopback transport answers with one buffer, so the stream frames
+  // are concatenated in delivery order; the terminating StreamEnd carries
+  // the final status — including the retry_after hint when admission shed
+  // the stream — so streaming clients back off identically to blocking
+  // ones.
+  Bytes out;
+  auto stats = service_.generate_stream(
+      request.value(), [&out](const service::StreamedPattern& slot) {
+        const Bytes encoded = encode_streamed_pattern(slot);
+        out.insert(out.end(), encoded.begin(), encoded.end());
+      });
+  const Bytes end =
+      stats.ok() ? encode_stream_end(common::Status::Ok(), stats.value())
+                 : encode_stream_end(stats.status(), service::GenerateStats{});
+  out.insert(out.end(), end.begin(), end.end());
+  return out;
+}
+
+}  // namespace diffpattern::dist

@@ -1,0 +1,75 @@
+// WorkerNode: one serving replica behind the wire protocol.
+//
+// A WorkerNode owns a PatternService and registers itself as a transport
+// endpoint. Incoming frames are decoded, dispatched to the service, and the
+// answer is re-encoded — generate requests answer with a GenerateResult (or
+// a bare Status on rejection, retry hints intact), streaming requests with
+// a concatenation of StreamedPattern frames terminated by a StreamEnd frame
+// carrying the final status + stats, and health probes with a WorkerHealth
+// snapshot derived from the service counters. Decode failures are answered
+// with the typed decode Status — a corrupt frame can never crash a worker.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "dist/transport.h"
+#include "dist/wire.h"
+#include "service/pattern_service.h"
+
+namespace diffpattern::dist {
+
+/// Wire-level counters for one worker (distinct from the service's own
+/// ServiceCounters: these count frames, not requests inside the service).
+struct WorkerWireCounters {
+  std::int64_t calls = 0;           ///< Frames dispatched (any type).
+  std::int64_t generate_calls = 0;  ///< Blocking generate frames served.
+  std::int64_t stream_calls = 0;    ///< Streaming generate frames served.
+  std::int64_t health_probes = 0;   ///< Health snapshots answered.
+  std::int64_t decode_errors = 0;   ///< Frames rejected at decode.
+
+  /// Single-line JSON object ({"calls":N,...}).
+  std::string to_json() const;
+};
+
+class WorkerNode {
+ public:
+  /// Registers endpoint `name` on `transport`. The transport must outlive
+  /// the node (the node unregisters itself on destruction). Models are
+  /// registered by the caller through service().models().
+  WorkerNode(std::string name, LoopbackTransport& transport,
+             service::ServiceConfig config = service::ServiceConfig{});
+  ~WorkerNode();
+  WorkerNode(const WorkerNode&) = delete;
+  WorkerNode& operator=(const WorkerNode&) = delete;
+
+  const std::string& name() const { return name_; }
+  service::PatternService& service() { return service_; }
+
+  /// Current health snapshot (also what a kHealthProbe frame answers);
+  /// every call bumps the snapshot sequence number.
+  WorkerHealth health_snapshot();
+
+  WorkerWireCounters wire_counters() const;
+
+  /// Serves one request buffer; exposed publicly so wire-level tests can
+  /// bypass the transport. Never throws.
+  Bytes handle(const Bytes& request);
+
+ private:
+  Bytes handle_generate(const Bytes& frame);
+  Bytes handle_stream(const Bytes& frame);
+
+  std::string name_;
+  LoopbackTransport& transport_;
+  service::PatternService service_;
+  std::atomic<std::uint64_t> health_seq_{0};
+  std::atomic<std::int64_t> calls_{0};
+  std::atomic<std::int64_t> generate_calls_{0};
+  std::atomic<std::int64_t> stream_calls_{0};
+  std::atomic<std::int64_t> health_probes_{0};
+  std::atomic<std::int64_t> decode_errors_{0};
+};
+
+}  // namespace diffpattern::dist

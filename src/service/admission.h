@@ -65,6 +65,12 @@ struct FlowControlConfig {
   /// legalization fan-out until the consumer drains (or abandons). <= 0
   /// disables the bound.
   std::int64_t stream_buffer_limit = 64;
+  /// Relative per-model weights of the global fused-slot budget
+  /// (SlotBudget). Under contention a model shard's outstanding fused
+  /// slots are capped at weight / sum(active weights) of max_fused_batch,
+  /// so a hot model cannot crowd others out of sampling capacity.
+  /// Unlisted models weigh 1.0; non-positive weights are treated as 1.0.
+  std::map<std::string, double> fused_slot_weights;
 };
 
 /// Owns the per-shard admission windows and the shedding policy. All

@@ -19,11 +19,16 @@ constexpr std::uint64_t kSampleStream = 0x53414D50;  // "SAMP"
 
 }  // namespace
 
-BatchScheduler::BatchScheduler(std::int64_t max_fused_batch,
-                               common::CounterBlock& counters)
+BatchScheduler::BatchScheduler(
+    std::int64_t max_fused_batch, common::CounterBlock& counters,
+    const std::map<std::string, double>& model_weights)
     : max_fused_batch_(std::max<std::int64_t>(1, max_fused_batch)),
       counters_(counters),
-      available_slots_(std::max<std::int64_t>(1, max_fused_batch)) {}
+      budget_(std::max<std::int64_t>(1, max_fused_batch)) {
+  for (const auto& [model, weight] : model_weights) {
+    budget_.set_weight(model, weight);
+  }
+}
 
 BatchScheduler::~BatchScheduler() { shutdown(); }
 
@@ -147,11 +152,7 @@ void BatchScheduler::shutdown() {
     shards.swap(shards_);
   }
   shutdown_.store(true, std::memory_order_relaxed);
-  // Same empty-critical-section idiom as the shard loop below: without it
-  // the notify could land in the window where a waiter has evaluated its
-  // predicate but not yet blocked, and the wakeup would be lost.
-  { const std::lock_guard<std::mutex> budget_lock(budget_mutex_); }
-  budget_cv_.notify_all();
+  budget_.shutdown();  // Wakes every shard blocked on the slot budget.
   for (auto& [model, shard] : shards) {
     // Acquire the shard mutex (empty critical section) between the store
     // and the notify: a shard thread that already evaluated its wait
@@ -166,28 +167,15 @@ void BatchScheduler::shutdown() {
   }
 }
 
-std::int64_t BatchScheduler::acquire_slots(std::int64_t wanted) {
-  std::unique_lock<std::mutex> lock(budget_mutex_);
-  budget_cv_.wait(lock, [this] {
-    return available_slots_ > 0 || shutdown_.load(std::memory_order_relaxed);
-  });
-  if (shutdown_.load(std::memory_order_relaxed)) {
-    return 0;
-  }
-  const auto granted = std::min(wanted, available_slots_);
-  available_slots_ -= granted;
-  return granted;
+std::int64_t BatchScheduler::acquire_slots(const Shard& shard,
+                                           std::int64_t wanted) {
+  // The weighted budget handles the shutdown wakeup itself (shutdown()
+  // calls budget_.shutdown() before joining shard threads).
+  return budget_.acquire(shard.model, wanted);
 }
 
-void BatchScheduler::release_slots(std::int64_t granted) {
-  if (granted <= 0) {
-    return;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(budget_mutex_);
-    available_slots_ += granted;
-  }
-  budget_cv_.notify_all();
+void BatchScheduler::release_slots(const Shard& shard, std::int64_t granted) {
+  budget_.release(shard.model, granted);
 }
 
 void BatchScheduler::shard_loop(Shard& shard) {
@@ -264,7 +252,7 @@ void BatchScheduler::run_round(Shard& shard,
   // Admission: wait for a share of the global fused-slot budget. The wait
   // happens without shard.mutex so submits keep landing meanwhile.
   lock.unlock();
-  const auto granted = acquire_slots(wanted);
+  const auto granted = acquire_slots(shard, wanted);
   lock.lock();
   if (granted == 0) {
     return;  // Shutdown: the loop fails the queue.
@@ -290,7 +278,7 @@ void BatchScheduler::run_round(Shard& shard,
       }
       entry.job->finish();
     }
-    release_slots(granted);
+    release_slots(shard, granted);
   };
 
   std::shared_ptr<SampleJob> leftover;  // Partially-handed job, if any.
@@ -329,7 +317,7 @@ void BatchScheduler::run_round(Shard& shard,
       it = shard.queue.erase(it);
     }
     if (round.empty()) {
-      release_slots(granted);
+      release_slots(shard, granted);
       return;
     }
     if (leftover != nullptr) {
@@ -395,7 +383,7 @@ void BatchScheduler::run_round(Shard& shard,
           common::Status::Internal("sampling round failed unexpectedly");
     }
   }
-  release_slots(granted);
+  release_slots(shard, granted);
   counters_.record_round(total_slots);
 
   try {

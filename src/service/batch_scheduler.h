@@ -35,6 +35,7 @@
 #include "common/status.h"
 #include "geometry/grid.h"
 #include "service/model_registry.h"
+#include "service/slot_budget.h"
 
 namespace diffpattern::service {
 
@@ -100,9 +101,12 @@ class BatchScheduler {
  public:
   /// `max_fused_batch` is the global admission budget (fused sampling slots
   /// in flight across all shards); values < 1 are clamped to 1. `counters`
-  /// must outlive the scheduler.
-  BatchScheduler(std::int64_t max_fused_batch,
-                 common::CounterBlock& counters);
+  /// must outlive the scheduler. `model_weights` sets the per-model shard
+  /// weights of the fused-slot budget (unlisted models weigh 1.0): under
+  /// contention a shard's outstanding slots are capped at its weight's
+  /// share of the budget, so a hot model cannot crowd the others out.
+  BatchScheduler(std::int64_t max_fused_batch, common::CounterBlock& counters,
+                 const std::map<std::string, double>& model_weights = {});
   ~BatchScheduler();
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
@@ -158,10 +162,10 @@ class BatchScheduler {
   /// expired job never occupies fused slots.
   void expire_deadlines(Shard& shard);
 
-  /// Blocks until at least one admission slot is free (or shutdown), then
-  /// takes min(wanted, available) slots. Returns 0 only on shutdown.
-  std::int64_t acquire_slots(std::int64_t wanted);
-  void release_slots(std::int64_t granted);
+  /// Blocks until the weighted budget grants `shard`'s model at least one
+  /// slot (or shutdown). Returns 0 only on shutdown.
+  std::int64_t acquire_slots(const Shard& shard, std::int64_t wanted);
+  void release_slots(const Shard& shard, std::int64_t granted);
 
   const std::int64_t max_fused_batch_;
   common::CounterBlock& counters_;
@@ -173,9 +177,8 @@ class BatchScheduler {
   /// Read by shard threads without shards_mutex_ (they must not take it).
   std::atomic<bool> shutdown_{false};
 
-  std::mutex budget_mutex_;
-  std::condition_variable budget_cv_;
-  std::int64_t available_slots_;
+  /// Weighted global fused-slot budget shared by every shard.
+  SlotBudget budget_;
 };
 
 }  // namespace diffpattern::service

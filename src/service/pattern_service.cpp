@@ -139,7 +139,8 @@ struct PatternService::Impl {
         config_error(check_config(cfg)),
         admission(cfg.flow, cfg.max_fused_batch, counters),
         workers(worker_count(cfg)),
-        scheduler(cfg.max_fused_batch, counters) {
+        scheduler(cfg.max_fused_batch, counters,
+                  cfg.flow.fused_slot_weights) {
     if (config_error.ok() && cfg.compute_threads > 0) {
       config_error = common::set_global_compute_threads(cfg.compute_threads);
     }

@@ -1,0 +1,105 @@
+#include "service/slot_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diffpattern::service {
+
+SlotBudget::SlotBudget(std::int64_t capacity)
+    : capacity_(std::max<std::int64_t>(1, capacity)) {}
+
+void SlotBudget::set_weight(const std::string& shard, double weight) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shards_[shard].weight = weight > 0.0 ? weight : 1.0;
+}
+
+std::int64_t SlotBudget::current_limit(const std::string& shard) const {
+  const auto self = shards_.find(shard);
+  const double self_weight =
+      self != shards_.end() ? self->second.weight : 1.0;
+  // Active = holding or waiting. The caller counts itself active (it is
+  // inside acquire), so sum its weight in even when its entry is idle.
+  double active_weight = 0.0;
+  bool contended = false;
+  for (const auto& [name, state] : shards_) {
+    if (state.in_use > 0 || state.waiting > 0) {
+      active_weight += state.weight;
+      if (name != shard) {
+        contended = true;
+      }
+    }
+  }
+  if (!contended) {
+    return capacity_;  // Work-conserving: sole tenant takes everything.
+  }
+  if (self == shards_.end() ||
+      (self->second.in_use == 0 && self->second.waiting == 0)) {
+    active_weight += self_weight;
+  }
+  const double share =
+      static_cast<double>(capacity_) * self_weight / active_weight;
+  return std::max<std::int64_t>(1,
+                                static_cast<std::int64_t>(std::floor(share)));
+}
+
+std::int64_t SlotBudget::acquire(const std::string& shard,
+                                 std::int64_t wanted) {
+  wanted = std::max<std::int64_t>(1, wanted);
+  std::unique_lock<std::mutex> lock(mutex_);
+  ShardState& state = shards_[shard];
+  for (;;) {
+    if (shutdown_) {
+      return 0;
+    }
+    const std::int64_t available = capacity_ - total_in_use_;
+    const std::int64_t headroom = current_limit(shard) - state.in_use;
+    const std::int64_t granted =
+        std::min({wanted, available, headroom});
+    if (granted >= 1) {
+      state.in_use += granted;
+      total_in_use_ += granted;
+      return granted;
+    }
+    state.waiting++;
+    total_waiting_++;
+    cv_.wait(lock);
+    state.waiting--;
+    total_waiting_--;
+  }
+}
+
+void SlotBudget::release(const std::string& shard, std::int64_t granted) {
+  if (granted <= 0) {
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = shards_.find(shard);
+    if (it != shards_.end()) {
+      it->second.in_use = std::max<std::int64_t>(0, it->second.in_use - granted);
+    }
+    total_in_use_ = std::max<std::int64_t>(0, total_in_use_ - granted);
+  }
+  cv_.notify_all();
+}
+
+void SlotBudget::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::int64_t SlotBudget::in_use(const std::string& shard) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = shards_.find(shard);
+  return it != shards_.end() ? it->second.in_use : 0;
+}
+
+std::int64_t SlotBudget::waiting() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_waiting_;
+}
+
+}  // namespace diffpattern::service

@@ -406,6 +406,49 @@ TEST_F(ServiceFlowTest, PriorityOrdersRoundsWithoutPerturbingBytes) {
   EXPECT_TRUE(same_patterns(lo_reference->patterns, lo_result->patterns));
 }
 
+TEST_F(ServiceFlowTest, PushStreamShedCarriesSameRetryHintAsBlocking) {
+  // A shed is a shed on every API shape: the push-stream path must reject
+  // with the same structured retry hint the blocking generate() returns —
+  // and deliver nothing. (The distributed plane forwards this hint over
+  // the wire; see test_dist_router.cpp.)
+  auto service = make_service(1, depth_only_flow(4, 1));
+  const ds::GenerateRequest busy{.model = "a", .count = 8, .seed = 81};
+  std::thread holder([&] { ASSERT_TRUE(service->generate(busy).ok()); });
+  ASSERT_TRUE(wait_for(
+      [&] { return service->counters().admission_pending >= 1; }));
+
+  const ds::GenerateRequest late{.model = "a", .count = 1, .seed = 82};
+  const auto blocking_shed = service->generate(late);
+  ASSERT_EQ(blocking_shed.status().code(), dc::StatusCode::kUnavailable);
+
+  std::int64_t deliveries = 0;
+  const auto stream_shed = service->generate_stream(
+      late, [&deliveries](const ds::StreamedPattern&) { ++deliveries; });
+  EXPECT_EQ(stream_shed.status().code(), dc::StatusCode::kUnavailable);
+  EXPECT_TRUE(stream_shed.status().has_retry_after());
+  EXPECT_EQ(stream_shed.status().retry_after_ms(),
+            blocking_shed.status().retry_after_ms());
+  EXPECT_EQ(deliveries, 0);
+  holder.join();
+}
+
+TEST_F(ServiceFlowTest, PullStreamShedCarriesRetryHint) {
+  auto service = make_service(1, depth_only_flow(4, 1));
+  const ds::GenerateRequest busy{.model = "a", .count = 8, .seed = 83};
+  std::thread holder([&] { ASSERT_TRUE(service->generate(busy).ok()); });
+  ASSERT_TRUE(wait_for(
+      [&] { return service->counters().admission_pending >= 1; }));
+
+  auto handle = service->generate_stream(
+      ds::GenerateRequest{.model = "a", .count = 1, .seed = 84});
+  EXPECT_FALSE(handle.next().has_value());  // Shed: nothing to pull.
+  const auto shed = handle.finish();
+  EXPECT_EQ(shed.status().code(), dc::StatusCode::kUnavailable);
+  EXPECT_TRUE(shed.status().has_retry_after());
+  EXPECT_GE(shed.status().retry_after_ms(), 1);
+  holder.join();
+}
+
 TEST_F(ServiceFlowTest, BoundedStreamBufferPausesThenDrainsIdentical) {
   ds::FlowControlConfig flow = open_flow();
   flow.stream_buffer_limit = 2;

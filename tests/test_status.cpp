@@ -31,6 +31,7 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
             dc::StatusCode::kResourceExhausted);
   EXPECT_EQ(dc::Status::DeadlineExceeded("x").code(),
             dc::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(dc::Status::DataLoss("x").code(), dc::StatusCode::kDataLoss);
 }
 
 TEST(Status, RetryAfterHintIsStructuredAndPrinted) {
@@ -71,6 +72,7 @@ TEST(StatusCode, NamesAreCanonical) {
                "RESOURCE_EXHAUSTED");
   EXPECT_STREQ(dc::to_string(dc::StatusCode::kDeadlineExceeded),
                "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(dc::to_string(dc::StatusCode::kDataLoss), "DATA_LOSS");
 }
 
 TEST(Result, HoldsValueWhenOk) {

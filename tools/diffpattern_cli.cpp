@@ -6,6 +6,8 @@
 //                            [--stream] [--stats]
 //   diffpattern_cli evaluate --library library.bin [--rules normal|space|area]
 //   diffpattern_cli render   --library library.bin --out-dir DIR [--limit N]
+//   diffpattern_cli serve-demo [--workers N] [--requests N] [--count N]
+//                              [--seed S] [--stats-json]
 //
 // All subcommands share one scaled pipeline configuration; `train` writes a
 // checkpoint that `generate` reloads, and `generate` emits a pattern
@@ -13,24 +15,33 @@
 // `--threads N` to size the tensor compute pool (default: the
 // DIFFPATTERN_THREADS env var, else hardware concurrency). `generate
 // --stream` prints every pattern (index + legality) the moment it clears
-// legalization; `--stats` dumps the service counters after the run. Exit
+// legalization; `--stats` dumps the service counters after the run and
+// `--stats-json` emits the same snapshot as machine-readable JSON.
+// `serve-demo` spins up an in-process multi-worker serving plane (wire
+// protocol + replica router) and proves cross-replica byte identity. Exit
 // code 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <algorithm>
 #include <charconv>
+#include <cstdint>
 #include <iostream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/compute_pool.h"
 #include "core/pipeline.h"
+#include "dist/router.h"
+#include "dist/transport.h"
+#include "dist/worker_node.h"
 #include "tensor/simd.h"
 #include "drc/checker.h"
 #include "io/gds.h"
 #include "io/io.h"
 #include "nn/checkpoint.h"
+#include "unet/unet.h"
 
 namespace dp = diffpattern;
 
@@ -76,7 +87,9 @@ int usage() {
       "           [--max-queue-depth N]\n"
       "  evaluate --library library.bin [--rules normal|space|area]\n"
       "  render   --library library.bin --out-dir DIR [--limit N]\n"
-      "  export-gds --library library.bin --out patterns.gds [--layer N]\n\n"
+      "  export-gds --library library.bin --out patterns.gds [--layer N]\n"
+      "  serve-demo [--workers N] [--requests N] [--count N] [--seed S]\n"
+      "             [--stats-json]\n\n"
       "Every subcommand accepts --threads N to size the compute pool used\n"
       "by the numeric kernels (default: DIFFPATTERN_THREADS env, else all\n"
       "hardware threads) and --kernel-backend scalar|avx2|neon|auto to pin\n"
@@ -84,7 +97,12 @@ int usage() {
       "best backend this CPU supports; unsupported ISAs are a usage error).\n"
       "Results are identical for every thread count and backend.\n"
       "generate --stream prints each pattern (index + legality) as it is\n"
-      "delivered; --stats dumps the service counters after the run.\n"
+      "delivered; --stats dumps the service counters after the run and\n"
+      "--stats-json emits the same snapshot as one JSON object.\n"
+      "serve-demo runs an in-process multi-worker serving plane (replica\n"
+      "router + wire protocol over loopback), checks that every replica\n"
+      "answers the reference request with byte-identical patterns, and with\n"
+      "--stats-json dumps router/worker counters as JSON.\n"
       "--priority ranks the request against concurrent service traffic,\n"
       "--deadline-ms bounds its latency (DEADLINE_EXCEEDED past it), and\n"
       "--max-queue-depth caps the service's per-model admission window\n"
@@ -272,6 +290,9 @@ int cmd_generate(const Args& args) {
   if (args.has("stats")) {
     std::cout << service.counters().to_string();
   }
+  if (args.has("stats-json")) {
+    std::cout << service.counters().to_json() << "\n";
+  }
   return 0;
 }
 
@@ -310,6 +331,134 @@ int cmd_render(const Args& args) {
   }
   std::cout << "rendered " << limit << " patterns to " << dir << "\n";
   return 0;
+}
+
+/// In-process distributed-serving demo: N WorkerNodes behind a loopback
+/// transport, each serving an identically seeded (untrained) mini model,
+/// fronted by a load-aware ReplicaRouter. Drives a batch of requests
+/// through the router, then proves the determinism contract by asking
+/// every replica directly for the same (model, seed) request and
+/// byte-comparing the answers. --stats-json dumps router + per-worker
+/// counters as one JSON object.
+int cmd_serve_demo(const Args& args) {
+  const auto worker_count = args.get_int("workers", 3);
+  if (worker_count < 1 || worker_count > 64) {
+    throw UsageError("--workers must be in [1, 64], got " +
+                     std::to_string(worker_count));
+  }
+  const auto requests = args.get_int("requests", 8);
+  if (requests < 0) {
+    throw UsageError("--requests must be >= 0");
+  }
+  const auto count = args.get_int("count", 4);
+  if (count < 1) {
+    throw UsageError("--count must be >= 1");
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+
+  // A small untrained model: every worker builds its U-Net from the same
+  // fixed seed, so the replicas are weight-identical the way checkpoint
+  // replicas would be.
+  dp::service::ModelConfig model_cfg;
+  model_cfg.grid_side = 16;
+  model_cfg.channels = 4;
+  model_cfg.schedule = {.steps = 6, .beta_start = 0.01, .beta_end = 0.5};
+  model_cfg.model_channels = 8;
+  model_cfg.channel_mult = {1, 2};
+  model_cfg.num_res_blocks = 1;
+  model_cfg.attention_levels = {};
+  model_cfg.dropout = 0.0F;
+  const dp::unet::UNet weights(model_cfg.unet_config(), 7);
+
+  dp::dist::LoopbackTransport transport;
+  std::vector<std::unique_ptr<dp::dist::WorkerNode>> workers;
+  dp::dist::RouterConfig router_cfg;
+  router_cfg.seed = seed;
+  dp::dist::ReplicaRouter router(router_cfg);
+  const std::string model_name = "demo";
+  for (std::int64_t w = 0; w < worker_count; ++w) {
+    dp::service::ServiceConfig svc;
+    svc.legalize_workers = 2;
+    svc.max_fused_batch = 8;
+    auto node = std::make_unique<dp::dist::WorkerNode>(
+        "worker-" + std::to_string(w), transport, svc);
+    const auto registered = node->service().models().register_model(
+        model_name, model_cfg, weights.registry(), {});
+    if (!registered.ok()) {
+      std::cerr << "serve-demo: " << registered.to_string() << "\n";
+      return 2;
+    }
+    router.add_replica(model_name, transport.connect(node->name()));
+    workers.push_back(std::move(node));
+  }
+
+  std::cout << "serve-demo: " << worker_count << " workers, " << requests
+            << " routed requests of " << count << " topologies...\n";
+  std::int64_t ok_requests = 0;
+  std::int64_t legal_patterns = 0;
+  for (std::int64_t r = 0; r < requests; ++r) {
+    dp::service::GenerateRequest request;
+    request.model = model_name;
+    request.count = count;
+    request.seed = seed + static_cast<std::uint64_t>(r);
+    auto result = router.generate(request);
+    if (result.ok()) {
+      ++ok_requests;
+      legal_patterns += static_cast<std::int64_t>(result->patterns.size());
+    } else {
+      std::cerr << "  request " << r << ": "
+                << result.status().to_string() << "\n";
+    }
+  }
+
+  // Determinism across replicas: every worker must answer the reference
+  // request with byte-identical patterns.
+  dp::service::GenerateRequest reference;
+  reference.model = model_name;
+  reference.count = count;
+  reference.seed = seed;
+  std::vector<dp::layout::SquishPattern> golden;
+  bool identical = true;
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    auto result = workers[w]->service().generate(reference);
+    if (!result.ok()) {
+      std::cerr << "serve-demo: replica check failed on worker " << w << ": "
+                << result.status().to_string() << "\n";
+      return 2;
+    }
+    if (w == 0) {
+      golden = std::move(result).value().patterns;
+      continue;
+    }
+    const auto& mine = result->patterns;
+    bool same = mine.size() == golden.size();
+    for (std::size_t i = 0; same && i < mine.size(); ++i) {
+      same = mine[i].topology == golden[i].topology &&
+             mine[i].dx == golden[i].dx && mine[i].dy == golden[i].dy;
+    }
+    identical = identical && same;
+  }
+  std::cout << "routed " << ok_requests << "/" << requests
+            << " requests OK (" << legal_patterns << " legal patterns)\n"
+            << "cross-replica byte identity: "
+            << (identical ? "PASS" : "FAIL") << "\n";
+
+  if (args.has("stats-json")) {
+    std::string json = "{\"router\":" + router.counters().to_json();
+    json += ",\"workers\":[";
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (w > 0) {
+        json += ",";
+      }
+      json += "{\"name\":\"" + workers[w]->name() + "\"";
+      json += ",\"wire\":" + workers[w]->wire_counters().to_json();
+      json += ",\"service\":" + workers[w]->service().counters().to_json();
+      json += "}";
+    }
+    json += "]}";
+    std::cout << json << "\n";
+  }
+  return identical ? 0 : 2;
 }
 
 int cmd_export_gds(const Args& args) {
@@ -369,6 +518,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "export-gds") {
       return cmd_export_gds(args);
+    }
+    if (args.command == "serve-demo") {
+      return cmd_serve_demo(args);
     }
     return usage();
   } catch (const UsageError& e) {
