@@ -14,6 +14,12 @@
 // shed rate than round-robin, sends less traffic to the saturated worker,
 // and — the standing invariant — every completed request's bytes are
 // identical across policies, replicas, and redirects.
+//
+// A third phase re-runs the storm over REAL sockets: the same workers
+// behind TCP SocketServers and seeded FaultInjector proxies (2 ms added
+// latency everywhere, worker-0 partitioned mid-storm), measuring the
+// socket p99 against the loopback baseline and proving failover keeps
+// every request completing with bit-identical bytes.
 // Emits BENCH_router.json.
 #include <algorithm>
 #include <chrono>
@@ -27,7 +33,9 @@
 
 #include "bench_common.h"
 #include "common/timer.h"
+#include "dist/fault_injection.h"
 #include "dist/router.h"
+#include "dist/socket_transport.h"
 #include "dist/transport.h"
 #include "dist/worker_node.h"
 #include "service/pattern_service.h"
@@ -243,6 +251,94 @@ int main() {
                               la.results[static_cast<std::size_t>(i)].patterns);
   }
 
+  // ---- Socket phase: same workers, now behind real TCP servers with a
+  // seeded FaultInjector per worker (2 ms added latency; worker-0's link
+  // partitioned halfway through the storm). Routed load-aware over the
+  // SocketTransport; failover must keep every request completing.
+  std::vector<std::unique_ptr<dd::SocketServer>> servers;
+  std::vector<std::unique_ptr<dd::FaultInjector>> injectors;
+  dd::SocketTransportConfig socket_cfg;
+  socket_cfg.call_timeout_ms = 5000;
+  socket_cfg.backoff_base_ms = 1;
+  socket_cfg.backoff_max_ms = 20;
+  dd::SocketTransport socket_transport(socket_cfg);
+  dd::RouterConfig socket_router_cfg;
+  socket_router_cfg.policy = dd::RouterConfig::Policy::kLoadAware;
+  socket_router_cfg.seed = 17;
+  socket_router_cfg.health_refresh_every = 8;
+  dd::ReplicaRouter socket_router(socket_router_cfg);
+  for (int w = 0; w < kWorkers; ++w) {
+    auto server = std::make_unique<dd::SocketServer>();
+    dd::WorkerNode* node = workers[static_cast<std::size_t>(w)].get();
+    auto started = server->start("tcp:127.0.0.1:0",
+                                 [node](const dd::Bytes& request) {
+                                   return node->handle(request);
+                                 });
+    dd::FaultConfig faults;
+    faults.seed = 90 + static_cast<std::uint64_t>(w);
+    faults.latency_ms = 2;
+    auto injector = std::make_unique<dd::FaultInjector>(faults);
+    auto injector_started =
+        started.ok()
+            ? injector->start("tcp:127.0.0.1:0", server->bound_address())
+            : started;
+    if (!injector_started.ok()) {
+      std::cerr << "[bench] socket topology failed to start: "
+                << injector_started.to_string() << "\n";
+      return 1;
+    }
+    for (const char* model : kModels) {
+      socket_router.add_replica(model,
+                                socket_transport.connect(injector->address()));
+    }
+    servers.push_back(std::move(server));
+    injectors.push_back(std::move(injector));
+  }
+
+  std::cout << "[bench] socket phase: " << kRequestsPerPolicy
+            << " requests over TCP with 2 ms injected latency, worker-0 "
+               "partitioned mid-storm...\n";
+  StormResult sk;
+  sk.results.resize(kRequestsPerPolicy);
+  std::vector<bool> socket_done(kRequestsPerPolicy, false);
+  for (int i = 0; i < kRequestsPerPolicy; ++i) {
+    if (i == kRequestsPerPolicy / 2) {
+      injectors[0]->set_partitioned(true);  // Mid-storm network split.
+    }
+    dp::common::Timer timer;
+    auto result = socket_router.generate(request_for(i));
+    if (result.ok()) {
+      sk.latencies.push_back(timer.seconds());
+      sk.results[static_cast<std::size_t>(i)] = std::move(result).value();
+      socket_done[static_cast<std::size_t>(i)] = true;
+      ++sk.completed;
+    } else {
+      ++sk.failed;
+      std::cerr << "[bench] socket request " << i
+                << " failed: " << result.status().to_string() << "\n";
+    }
+  }
+  sk.router = socket_router.counters();
+  injectors[0]->set_partitioned(false);
+  for (auto& injector : injectors) {
+    injector->shutdown();
+  }
+  for (auto& server : servers) {
+    server->shutdown();
+  }
+
+  bool socket_identical = true;
+  for (int i = 0; i < kRequestsPerPolicy && socket_identical; ++i) {
+    if (!socket_done[static_cast<std::size_t>(i)]) {
+      continue;  // Only completed requests owe identity.
+    }
+    const auto golden = workers[1]->service().generate(request_for(i));
+    socket_identical =
+        golden.ok() &&
+        same_patterns(golden->patterns,
+                      sk.results[static_cast<std::size_t>(i)].patterns);
+  }
+
   const auto shed_rate = [](const StormResult& s) {
     return s.router.requests > 0
                ? static_cast<double>(s.router.redirects + s.router.sheds_returned) /
@@ -251,12 +347,22 @@ int main() {
   };
   const double rr_shed_rate = shed_rate(rr);
   const double la_shed_rate = shed_rate(la);
+  const double sk_shed_rate = shed_rate(sk);
   const double rr_p50 = percentile(rr.latencies, 0.50) * 1000.0;
   const double rr_p99 = percentile(rr.latencies, 0.99) * 1000.0;
   const double la_p50 = percentile(la.latencies, 0.50) * 1000.0;
   const double la_p99 = percentile(la.latencies, 0.99) * 1000.0;
+  const double sk_p50 = percentile(sk.latencies, 0.50) * 1000.0;
+  const double sk_p99 = percentile(sk.latencies, 0.99) * 1000.0;
   const bool all_completed = rr.failed == 0 && la.failed == 0;
   const bool load_aware_wins = la_shed_rate < rr_shed_rate;
+  // The partition must surface as a typed failure SOMEWHERE — a routed
+  // call failing over or a health probe marking the replica down — and
+  // the plane must absorb it: every socket request still completed.
+  const bool partition_observed =
+      sk.router.failovers + sk.router.health_failures >= 1;
+  const bool socket_survived =
+      sk.failed == 0 && partition_observed && socket_identical;
 
   std::cout << "\n                         round-robin    load-aware\n"
             << "completed:               " << rr.completed << " / "
@@ -273,7 +379,20 @@ int main() {
             << "bit-identical bytes:     " << (identical ? "yes" : "NO")
             << "\n"
             << "load-aware < round-robin shed rate: "
-            << (load_aware_wins ? "yes" : "NO") << "\n";
+            << (load_aware_wins ? "yes" : "NO") << "\n"
+            << "\nsocket phase (TCP + fault injection, partition mid-storm)\n"
+            << "completed:               " << sk.completed << " / "
+            << kRequestsPerPolicy << "\n"
+            << "shed rate:               " << sk_shed_rate << "\n"
+            << "failovers:               " << sk.router.failovers
+            << " (timeouts " << sk.router.transport_timeouts << ", errors "
+            << sk.router.transport_errors << ", decode "
+            << sk.router.decode_failures << ")\n"
+            << "reconnects:              " << sk.router.reconnects << "\n"
+            << "latency p50 / p99 (ms):  " << sk_p50 << " / " << sk_p99
+            << "  (loopback load-aware p99 " << la_p99 << ")\n"
+            << "bit-identical bytes:     "
+            << (socket_identical ? "yes" : "NO") << "\n";
 
   dp::bench::write_bench_json(
       "router",
@@ -293,10 +412,29 @@ int main() {
        {"load_aware_p50_ms", la_p50},
        {"load_aware_p99_ms", la_p99},
        {"load_aware_beats_round_robin", load_aware_wins ? 1.0 : 0.0},
-       {"bit_identical", identical ? 1.0 : 0.0}});
+       {"bit_identical", identical ? 1.0 : 0.0},
+       {"socket_completed", static_cast<double>(sk.completed)},
+       {"socket_shed_rate", sk_shed_rate},
+       {"socket_failovers", static_cast<double>(sk.router.failovers)},
+       {"socket_transport_timeouts",
+        static_cast<double>(sk.router.transport_timeouts)},
+       {"socket_transport_errors",
+        static_cast<double>(sk.router.transport_errors)},
+       {"socket_decode_failures",
+        static_cast<double>(sk.router.decode_failures)},
+       {"socket_reconnects", static_cast<double>(sk.router.reconnects)},
+       {"socket_p50_ms", sk_p50},
+       {"socket_p99_ms", sk_p99},
+       {"socket_vs_loopback_p99_ratio",
+        la_p99 > 0.0 ? sk_p99 / la_p99 : 0.0},
+       {"socket_bit_identical", socket_identical ? 1.0 : 0.0}});
 
-  // Pass criteria: both policies completed everything (redirects absorb
-  // the sheds), the load-aware router encountered strictly fewer sheds
-  // than the load-blind control, and routing was invisible in the bytes.
-  return (all_completed && load_aware_wins && identical) ? 0 : 1;
+  // Pass criteria: both loopback policies completed everything (redirects
+  // absorb the sheds), the load-aware router encountered strictly fewer
+  // sheds than the load-blind control, routing was invisible in the bytes,
+  // and the socket phase survived its partition — at least one typed
+  // failover, zero failures, bytes still golden.
+  return (all_completed && load_aware_wins && identical && socket_survived)
+             ? 0
+             : 1;
 }

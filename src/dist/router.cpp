@@ -34,6 +34,10 @@ std::string RouterCounters::to_json() const {
   out += ",\"sheds_returned\":" + std::to_string(sheds_returned);
   out += ",\"health_probes\":" + std::to_string(health_probes);
   out += ",\"health_failures\":" + std::to_string(health_failures);
+  out += ",\"transport_timeouts\":" + std::to_string(transport_timeouts);
+  out += ",\"transport_errors\":" + std::to_string(transport_errors);
+  out += ",\"decode_failures\":" + std::to_string(decode_failures);
+  out += ",\"reconnects\":" + std::to_string(reconnects);
   out += "}";
   return out;
 }
@@ -239,6 +243,17 @@ common::Result<Bytes> ReplicaRouter::route(const std::string& model,
     if (!response.ok()) {
       replica->down = true;  // Transport failure: connection-level fault.
       counters_.failovers++;
+      switch (response.status().code()) {
+        case common::StatusCode::kDeadlineExceeded:
+          counters_.transport_timeouts++;
+          break;
+        case common::StatusCode::kDataLoss:
+          counters_.decode_failures++;  // Torn/corrupt frame at transport.
+          break;
+        default:
+          counters_.transport_errors++;
+          break;
+      }
       continue;
     }
     // Classify the response. A bare Status frame carrying a shed code (or
@@ -248,6 +263,7 @@ common::Result<Bytes> ReplicaRouter::route(const std::string& model,
     if (!type.ok()) {
       replica->down = true;  // Unintelligible reply: treat as faulty.
       counters_.failovers++;
+      counters_.decode_failures++;
       continue;
     }
     Status shed = Status::Ok();
@@ -258,6 +274,7 @@ common::Result<Bytes> ReplicaRouter::route(const std::string& model,
         // generate answer): treat the replica as faulty.
         replica->down = true;
         counters_.failovers++;
+        counters_.decode_failures++;
         continue;
       }
       if (!is_shed(decoded.value().status)) {
@@ -379,7 +396,15 @@ common::Result<service::GenerateStats> ReplicaRouter::generate_stream(
 
 RouterCounters ReplicaRouter::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return counters_;
+  RouterCounters out = counters_;
+  // Reconnects belong to the transport layer; fold each channel's stats in
+  // at snapshot time so the counter needs no write path in route().
+  for (const auto& [model, table] : tables_) {
+    for (const auto& replica : table->replicas) {
+      out.reconnects += replica->channel->stats().reconnects;
+    }
+  }
+  return out;
 }
 
 }  // namespace diffpattern::dist

@@ -57,6 +57,14 @@ struct RouterCounters {
   std::int64_t sheds_returned = 0;  ///< Requests shed by every replica.
   std::int64_t health_probes = 0;
   std::int64_t health_failures = 0;
+  // Per-fault-class breakdown of failovers (failovers == transport_timeouts
+  // + transport_errors + decode_failures — the chaos suite asserts it):
+  std::int64_t transport_timeouts = 0;  ///< Calls lost to DEADLINE_EXCEEDED.
+  std::int64_t transport_errors = 0;    ///< UNAVAILABLE & other call faults.
+  std::int64_t decode_failures = 0;     ///< DATA_LOSS or unintelligible reply.
+  /// Reconnects summed from every replica channel's ChannelStats at
+  /// snapshot time (socket channels report recoveries; loopback is 0).
+  std::int64_t reconnects = 0;
 
   /// Single-line JSON object ({"requests":N,...}).
   std::string to_json() const;

@@ -1,0 +1,724 @@
+#include "dist/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace diffpattern::dist {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Polls `fd` for `events` until `deadline_ms` (steady clock). Returns
+/// +1 ready, 0 deadline expired, -1 hard poll error.
+int poll_until(int fd, short events, std::int64_t deadline_ms) {
+  for (;;) {
+    const std::int64_t remaining = deadline_ms - steady_now_ms();
+    if (remaining <= 0) {
+      return 0;
+    }
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1,
+                          static_cast<int>(std::min<std::int64_t>(
+                              remaining, 100)));
+    if (rc > 0) {
+      return 1;
+    }
+    if (rc < 0 && errno != EINTR) {
+      return -1;
+    }
+    // rc == 0: tick — re-check the deadline and poll again.
+  }
+}
+
+/// Non-blocking connect with a deadline; returns a connected blocking fd
+/// or a typed status.
+Result<int> dial(const SocketAddress& address, std::int64_t timeout_ms) {
+  int fd = -1;
+  sockaddr_storage storage {};
+  socklen_t addr_len = 0;
+  if (address.kind == SocketAddress::Kind::kTcp) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Unavailable("socket(): " + std::string(strerror(errno)));
+    }
+    auto* in = reinterpret_cast<sockaddr_in*>(&storage);
+    in->sin_family = AF_INET;
+    in->sin_port = htons(address.port);
+    const std::string host =
+        address.host == "localhost" ? "127.0.0.1" : address.host;
+    if (::inet_pton(AF_INET, host.c_str(), &in->sin_addr) != 1) {
+      close_fd(fd);
+      return Status::InvalidArgument("not a numeric IPv4 host: '" +
+                                     address.host + "'");
+    }
+    addr_len = sizeof(sockaddr_in);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  } else {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Unavailable("socket(): " + std::string(strerror(errno)));
+    }
+    auto* un = reinterpret_cast<sockaddr_un*>(&storage);
+    un->sun_family = AF_UNIX;
+    std::snprintf(un->sun_path, sizeof(un->sun_path), "%s",
+                  address.path.c_str());
+    addr_len = sizeof(sockaddr_un);
+  }
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const std::int64_t deadline = steady_now_ms() + timeout_ms;
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&storage), addr_len);
+  if (rc != 0 && errno == EINPROGRESS) {
+    if (poll_until(fd, POLLOUT, deadline) != 1) {
+      close_fd(fd);
+      return Status::Unavailable("connect to " + address.to_string() +
+                                 " timed out");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    rc = err == 0 ? 0 : -1;
+    errno = err;
+  }
+  if (rc != 0) {
+    const std::string reason = strerror(errno);
+    close_fd(fd);
+    return Status::Unavailable("connect to " + address.to_string() +
+                               " failed: " + reason);
+  }
+  ::fcntl(fd, F_SETFL, flags);  // Back to blocking; I/O is poll-gated.
+  return fd;
+}
+
+/// Writes the whole buffer before `deadline_ms`. DEADLINE_EXCEEDED on
+/// expiry, UNAVAILABLE on a torn pipe.
+Status write_all(int fd, const Bytes& buffer, std::int64_t deadline_ms) {
+  std::size_t sent = 0;
+  while (sent < buffer.size()) {
+    const int ready = poll_until(fd, POLLOUT, deadline_ms);
+    if (ready == 0) {
+      return Status::DeadlineExceeded("write deadline expired");
+    }
+    if (ready < 0) {
+      return Status::Unavailable("poll(): " + std::string(strerror(errno)));
+    }
+    const ssize_t n = ::send(fd, buffer.data() + sent, buffer.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::Unavailable("send(): " + std::string(strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Reads one complete outer frame into `assembler` before `deadline_ms`.
+/// Recv sizes are bounded by want() so the reader never consumes bytes of
+/// a following frame.
+Status read_frame(int fd, FrameAssembler& assembler,
+                  std::int64_t deadline_ms) {
+  std::uint8_t chunk[16384];
+  while (!assembler.complete()) {
+    const int ready = poll_until(fd, POLLIN, deadline_ms);
+    if (ready == 0) {
+      return Status::DeadlineExceeded("read deadline expired");
+    }
+    if (ready < 0) {
+      return Status::Unavailable("poll(): " + std::string(strerror(errno)));
+    }
+    const std::size_t cap = std::min(sizeof(chunk), assembler.want());
+    const ssize_t n = ::recv(fd, chunk, cap, 0);
+    if (n == 0) {
+      return assembler.want() == kSocketFrameHeaderBytes &&
+                     !assembler.complete()
+                 ? Status::Unavailable("peer closed before responding")
+                 : Status::DataLoss("connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::Unavailable("recv(): " + std::string(strerror(errno)));
+    }
+    if (Status s = assembler.feed(chunk, static_cast<std::size_t>(n));
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+Bytes frame_payload(const Bytes& payload) {
+  Bytes out;
+  out.reserve(kSocketFrameHeaderBytes + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((len >> shift) & 0xFF));
+  }
+  const std::uint64_t checksum = fnv1a64(payload.data(), payload.size());
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((checksum >> shift) & 0xFF));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+FrameAssembler::FrameAssembler(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+std::size_t FrameAssembler::want() const {
+  if (complete_) {
+    return 0;
+  }
+  if (header_filled_ < kSocketFrameHeaderBytes) {
+    return kSocketFrameHeaderBytes - header_filled_;
+  }
+  return expected_ - body_.size();
+}
+
+common::Status FrameAssembler::feed(const std::uint8_t* data,
+                                    std::size_t size) {
+  std::size_t pos = 0;
+  while (pos < size) {
+    if (complete_) {
+      return Status::DataLoss("bytes past the end of a complete frame");
+    }
+    if (header_filled_ < kSocketFrameHeaderBytes) {
+      const std::size_t take = std::min(
+          size - pos, kSocketFrameHeaderBytes - header_filled_);
+      std::memcpy(header_ + header_filled_, data + pos, take);
+      header_filled_ += take;
+      pos += take;
+      if (header_filled_ < kSocketFrameHeaderBytes) {
+        continue;
+      }
+      // Header complete: validate the length BEFORE any body allocation.
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i) {
+        len |= std::uint32_t{header_[i]} << (8 * i);
+      }
+      if (len > max_frame_bytes_) {
+        return Status::DataLoss("frame length " + std::to_string(len) +
+                                " exceeds the " +
+                                std::to_string(max_frame_bytes_) +
+                                "-byte bound");
+      }
+      checksum_ = 0;
+      for (int i = 0; i < 8; ++i) {
+        checksum_ |= std::uint64_t{header_[4 + i]} << (8 * i);
+      }
+      expected_ = len;
+      body_.clear();
+      body_.reserve(expected_);
+      if (expected_ == 0) {
+        if (checksum_ != fnv1a64(nullptr, 0)) {
+          return Status::DataLoss("frame checksum mismatch");
+        }
+        complete_ = true;
+      }
+      continue;
+    }
+    const std::size_t take = std::min(size - pos, expected_ - body_.size());
+    body_.insert(body_.end(), data + pos, data + pos + take);
+    pos += take;
+    if (body_.size() == expected_) {
+      if (fnv1a64(body_.data(), body_.size()) != checksum_) {
+        return Status::DataLoss("frame checksum mismatch");
+      }
+      complete_ = true;
+    }
+  }
+  return Status::Ok();
+}
+
+Bytes FrameAssembler::take() {
+  Bytes out = std::move(body_);
+  body_ = Bytes{};
+  header_filled_ = 0;
+  expected_ = 0;
+  checksum_ = 0;
+  complete_ = false;
+  return out;
+}
+
+std::string SocketAddress::to_string() const {
+  if (kind == Kind::kTcp) {
+    return "tcp:" + host + ":" + std::to_string(port);
+  }
+  return "unix:" + path;
+}
+
+common::Result<SocketAddress> parse_socket_address(const std::string& spec) {
+  SocketAddress out;
+  if (spec.rfind("unix:", 0) == 0) {
+    out.kind = SocketAddress::Kind::kUnix;
+    out.path = spec.substr(5);
+    if (out.path.empty()) {
+      return Status::InvalidArgument("empty unix socket path in '" + spec +
+                                     "'");
+    }
+    // sun_path is a fixed buffer; reject paths that would truncate.
+    if (out.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: '" +
+                                     out.path + "'");
+    }
+    return out;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    out.kind = SocketAddress::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= rest.size()) {
+      return Status::InvalidArgument("expected tcp:HOST:PORT, got '" + spec +
+                                     "'");
+    }
+    out.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    std::int64_t port = 0;
+    for (const char c : port_text) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad port in '" + spec + "'");
+      }
+      port = port * 10 + (c - '0');
+      if (port > 65535) {
+        return Status::InvalidArgument("port out of range in '" + spec +
+                                       "'");
+      }
+    }
+    out.port = static_cast<std::uint16_t>(port);
+    return out;
+  }
+  return Status::InvalidArgument(
+      "unknown socket address scheme in '" + spec +
+      "' (expected tcp:HOST:PORT or unix:/path)");
+}
+
+// ---------------------------------------------------------------- channel
+
+namespace {
+
+class SocketChannel : public Channel {
+ public:
+  SocketChannel(std::string spec, SocketTransportConfig config)
+      : spec_(std::move(spec)), config_(config) {
+    auto parsed = parse_socket_address(spec_);
+    if (parsed.ok()) {
+      address_ = std::move(parsed).value();
+      parsed_ok_ = true;
+    } else {
+      parse_error_ = parsed.status();
+    }
+    jitter_state_ = config_.jitter_seed ^
+                    fnv1a64(reinterpret_cast<const std::uint8_t*>(
+                                spec_.data()),
+                            spec_.size());
+  }
+
+  ~SocketChannel() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    close_fd(fd_);
+  }
+
+  common::Result<Bytes> call(const Bytes& request) override {
+    // One exchange at a time per channel: the connection is a strict
+    // request/response pipe, so concurrent callers serialize here (the
+    // router spreads load across replicas, not across one connection).
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!parsed_ok_) {
+      return parse_error_;
+    }
+    const std::int64_t deadline = steady_now_ms() + config_.call_timeout_ms;
+    if (fd_ < 0) {
+      if (Status s = reconnect_locked(); !s.ok()) {
+        return s;
+      }
+    }
+    Status io = exchange_locked(request, deadline);
+    if (io.ok()) {
+      return std::move(response_);
+    }
+    // Any I/O failure poisons the connection: close it and let the next
+    // call reconnect lazily. A fresh connection that failed mid-exchange
+    // (the peer died between our connect and its reply) is not retried
+    // here — the router owns retry policy.
+    close_fd(fd_);
+    if (io.code() == common::StatusCode::kDeadlineExceeded) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return io;
+  }
+
+  const std::string& endpoint() const override { return spec_; }
+
+  // Lock-free: stats() must never wait behind a blocking call() (the
+  // router snapshots counters while traffic is in flight).
+  ChannelStats stats() const override {
+    ChannelStats out;
+    out.connects = connects_.load(std::memory_order_relaxed);
+    out.reconnects = out.connects > 0 ? out.connects - 1 : 0;
+    out.timeouts = timeouts_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  Status reconnect_locked() {
+    const std::int64_t now = steady_now_ms();
+    if (now < next_attempt_ms_) {
+      // Fail fast inside the backoff window — no syscall, and the
+      // remaining wait travels as a structured retry hint.
+      return Status::Unavailable("reconnect to " + spec_ +
+                                 " backing off")
+          .with_retry_after(next_attempt_ms_ - now);
+    }
+    auto dialed = dial(address_, config_.connect_timeout_ms);
+    if (!dialed.ok()) {
+      // Capped exponential backoff with deterministic jitter: delay =
+      // min(max, base << failures) + U[0, delay/4).
+      const std::int64_t shift =
+          std::min<std::int64_t>(consecutive_connect_failures_, 20);
+      std::int64_t delay = config_.backoff_base_ms;
+      if (shift < 63 && (delay << shift) > 0) {
+        delay = std::min(config_.backoff_max_ms, delay << shift);
+      } else {
+        delay = config_.backoff_max_ms;
+      }
+      if (delay > 4) {
+        delay += static_cast<std::int64_t>(splitmix64(jitter_state_) %
+                                           static_cast<std::uint64_t>(
+                                               delay / 4));
+      }
+      delay = std::min(delay, config_.backoff_max_ms);
+      next_attempt_ms_ = now + delay;
+      consecutive_connect_failures_++;
+      return dialed.status();
+    }
+    fd_ = dialed.value();
+    consecutive_connect_failures_ = 0;
+    next_attempt_ms_ = 0;
+    connects_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  Status exchange_locked(const Bytes& request, std::int64_t deadline) {
+    if (request.size() > config_.max_frame_bytes) {
+      return Status::InvalidArgument(
+          "request of " + std::to_string(request.size()) +
+          " bytes exceeds the frame bound");
+    }
+    if (Status s = write_all(fd_, frame_payload(request), deadline);
+        !s.ok()) {
+      return s;
+    }
+    FrameAssembler assembler(config_.max_frame_bytes);
+    if (Status s = read_frame(fd_, assembler, deadline); !s.ok()) {
+      return s;
+    }
+    response_ = assembler.take();
+    return Status::Ok();
+  }
+
+  std::string spec_;
+  SocketTransportConfig config_;
+  SocketAddress address_;
+  bool parsed_ok_ = false;
+  Status parse_error_;
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  Bytes response_;
+  std::int64_t consecutive_connect_failures_ = 0;
+  std::int64_t next_attempt_ms_ = 0;
+  std::uint64_t jitter_state_ = 0;
+  std::atomic<std::int64_t> connects_{0};
+  std::atomic<std::int64_t> timeouts_{0};
+};
+
+}  // namespace
+
+SocketTransport::SocketTransport(SocketTransportConfig config)
+    : config_(config) {}
+
+std::shared_ptr<Channel> SocketTransport::connect(const std::string& address) {
+  return std::make_shared<SocketChannel>(address, config_);
+}
+
+// ----------------------------------------------------------------- server
+
+std::string SocketServerCounters::to_json() const {
+  std::string out = "{";
+  out += "\"connections\":" + std::to_string(connections);
+  out += ",\"requests\":" + std::to_string(requests);
+  out += ",\"read_errors\":" + std::to_string(read_errors);
+  out += "}";
+  return out;
+}
+
+struct SocketServer::Impl {
+  SocketServerConfig config;
+  WireHandler handler;
+  std::atomic<bool> stopping{false};
+  int listen_fd = -1;
+  std::string unix_path;  // Unlinked on shutdown.
+
+  std::mutex mutex;
+  std::vector<std::thread> connections;
+  std::atomic<std::int64_t> accepted{0};
+  std::atomic<std::int64_t> requests{0};
+  std::atomic<std::int64_t> read_errors{0};
+
+  /// One connection: sequential framed request/response exchanges. On
+  /// shutdown, an exchange already in progress (a partially read request
+  /// or a running handler) completes and its response is written; an idle
+  /// connection closes at the next 100 ms poll tick.
+  void serve_connection(int fd) {
+    FrameAssembler assembler(config.max_frame_bytes);
+    std::uint8_t chunk[16384];
+    bool mid_frame = false;
+    std::int64_t frame_deadline = 0;
+    for (;;) {
+      if (stopping.load(std::memory_order_relaxed) && !mid_frame) {
+        break;  // Graceful: never abandon a request already arriving.
+      }
+      struct pollfd pfd {};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int rc = ::poll(&pfd, 1, 100);
+      if (rc < 0 && errno != EINTR) {
+        break;
+      }
+      if (rc <= 0) {
+        if (mid_frame && steady_now_ms() > frame_deadline) {
+          read_errors.fetch_add(1, std::memory_order_relaxed);
+          break;  // Stalled mid-frame: disconnect the peer.
+        }
+        continue;
+      }
+      const std::size_t cap = std::min(sizeof(chunk), assembler.want());
+      const ssize_t n = ::recv(fd, chunk, cap, 0);
+      if (n <= 0) {
+        if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                      errno == EWOULDBLOCK)) {
+          continue;
+        }
+        if (n < 0 || mid_frame) {
+          read_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;  // Peer closed (cleanly between frames, or torn).
+      }
+      if (!mid_frame) {
+        mid_frame = true;
+        frame_deadline = steady_now_ms() + config.io_timeout_ms;
+      }
+      if (Status s = assembler.feed(chunk, static_cast<std::size_t>(n));
+          !s.ok()) {
+        // Hostile length / checksum mismatch: the peer is feeding us
+        // garbage; drop the connection (the client decodes the close as
+        // a typed failure on its side).
+        read_errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (!assembler.complete()) {
+        continue;
+      }
+      const Bytes request = assembler.take();
+      mid_frame = false;
+      requests.fetch_add(1, std::memory_order_relaxed);
+      const Bytes response = handler(request);
+      const std::int64_t write_deadline =
+          steady_now_ms() + config.io_timeout_ms;
+      if (!write_all(fd, frame_payload(response), write_deadline).ok()) {
+        break;
+      }
+      if (stopping.load(std::memory_order_relaxed)) {
+        break;  // Drained: last response written, close now.
+      }
+    }
+    ::close(fd);
+  }
+};
+
+SocketServer::SocketServer(SocketServerConfig config)
+    : config_(config), impl_(std::make_shared<Impl>()) {
+  impl_->config = config_;
+}
+
+SocketServer::~SocketServer() { shutdown(); }
+
+common::Status SocketServer::start(const std::string& address,
+                                   WireHandler handler) {
+  if (impl_->listen_fd >= 0) {
+    return Status::FailedPrecondition("server already started");
+  }
+  auto parsed = parse_socket_address(address);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const SocketAddress& addr = parsed.value();
+  int fd = -1;
+  if (addr.kind == SocketAddress::Kind::kTcp) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Unavailable("socket(): " + std::string(strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in in {};
+    in.sin_family = AF_INET;
+    in.sin_port = htons(addr.port);
+    const std::string host =
+        addr.host == "localhost" ? "127.0.0.1" : addr.host;
+    if (::inet_pton(AF_INET, host.c_str(), &in.sin_addr) != 1) {
+      close_fd(fd);
+      return Status::InvalidArgument("not a numeric IPv4 host: '" +
+                                     addr.host + "'");
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&in), sizeof(in)) != 0) {
+      const std::string reason = strerror(errno);
+      close_fd(fd);
+      return Status::Unavailable("bind " + addr.to_string() + ": " + reason);
+    }
+    sockaddr_in bound {};
+    socklen_t bound_len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+    bound_address_ =
+        "tcp:" + host + ":" + std::to_string(ntohs(bound.sin_port));
+  } else {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Unavailable("socket(): " + std::string(strerror(errno)));
+    }
+    ::unlink(addr.path.c_str());  // Stale socket file from a dead server.
+    sockaddr_un un {};
+    un.sun_family = AF_UNIX;
+    std::snprintf(un.sun_path, sizeof(un.sun_path), "%s", addr.path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&un), sizeof(un)) != 0) {
+      const std::string reason = strerror(errno);
+      close_fd(fd);
+      return Status::Unavailable("bind " + addr.to_string() + ": " + reason);
+    }
+    impl_->unix_path = addr.path;
+    bound_address_ = addr.to_string();
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string reason = strerror(errno);
+    close_fd(fd);
+    return Status::Unavailable("listen " + addr.to_string() + ": " + reason);
+  }
+  impl_->handler = std::move(handler);
+  impl_->listen_fd = fd;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Status::Ok();
+}
+
+void SocketServer::accept_loop() {
+  auto impl = impl_;
+  while (!impl->stopping.load(std::memory_order_relaxed)) {
+    struct pollfd pfd {};
+    pfd.fd = impl->listen_fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0 && errno != EINTR) {
+      break;
+    }
+    if (rc <= 0) {
+      continue;
+    }
+    const int conn = ::accept(impl->listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    impl->accepted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    impl->connections.emplace_back(
+        [impl, conn] { impl->serve_connection(conn); });
+  }
+}
+
+void SocketServer::shutdown() {
+  if (!impl_ || impl_->listen_fd < 0) {
+    return;
+  }
+  impl_->stopping.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  close_fd(impl_->listen_fd);
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    connections.swap(impl_->connections);
+  }
+  for (auto& thread : connections) {
+    thread.join();  // Drain: in-flight requests answer before closing.
+  }
+  if (!impl_->unix_path.empty()) {
+    ::unlink(impl_->unix_path.c_str());
+  }
+}
+
+SocketServerCounters SocketServer::counters() const {
+  SocketServerCounters out;
+  out.connections = impl_->accepted.load(std::memory_order_relaxed);
+  out.requests = impl_->requests.load(std::memory_order_relaxed);
+  out.read_errors = impl_->read_errors.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace diffpattern::dist

@@ -1,0 +1,187 @@
+// Socket transport: the dist::Channel seam over real TCP / Unix-domain
+// sockets.
+//
+// The wire bytes (dist/wire.h frames) cross the socket wrapped in one
+// outer frame per call: a 12-byte header — u32 payload length (LE) + u64
+// FNV-1a checksum of the payload — followed by the payload itself. The
+// checksum is what turns in-flight byte corruption into a typed DATA_LOSS
+// instead of a silently wrong answer; the length bound is what keeps a
+// hostile peer from driving an allocation (lengths above the configured
+// cap answer DATA_LOSS before any buffer grows, mirroring wire.cpp's
+// decoder limits).
+//
+// Division of labor (per ROADMAP): timeouts and reconnect policy live
+// HERE — every call carries explicit connect/read/write deadlines, and a
+// torn connection reconnects lazily under capped exponential backoff with
+// deterministic jitter. Down-marking, cooldowns, and failover stay in the
+// ReplicaRouter, which only sees this transport's typed statuses:
+//   UNAVAILABLE        connect refused/reset, peer closed before answering,
+//                      or a reconnect attempt still inside its backoff
+//                      window (retry_after_ms carries the remaining wait);
+//   DEADLINE_EXCEEDED  the call deadline expired (stalled peer);
+//   DATA_LOSS          torn mid-frame read, checksum mismatch, or a frame
+//                      above the size bound.
+// No call ever hangs past its deadline and no failure surfaces untyped.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/transport.h"
+#include "dist/wire.h"
+
+namespace diffpattern::dist {
+
+/// Outer framing: [u32 payload length][u64 FNV-1a of payload][payload].
+inline constexpr std::size_t kSocketFrameHeaderBytes = 12;
+/// Default per-message size bound (requests and responses). Generous for
+/// pattern payloads, small enough that a hostile length can never matter.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64ULL << 20;
+
+/// FNV-1a 64-bit over a byte range (the outer-frame checksum).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size);
+
+/// Wraps one wire-level message in the outer socket frame.
+Bytes frame_payload(const Bytes& payload);
+
+/// Incremental reassembly of one outer frame from arbitrarily torn reads.
+/// feed() accepts any split of the byte stream (the every-prefix sweep in
+/// tests/test_socket_transport.cpp drives every boundary); a hostile
+/// length is rejected the moment the 12-byte header completes — before
+/// any body allocation — and a checksum mismatch the moment the body
+/// does. Once complete(), take() yields the payload and resets the
+/// assembler for the next frame.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Consumes `size` bytes of stream. DATA_LOSS on a hostile length or a
+  /// checksum mismatch. Feeding more bytes than want() (i.e. past the end
+  /// of the current frame) is a protocol violation and also DATA_LOSS.
+  common::Status feed(const std::uint8_t* data, std::size_t size);
+
+  /// True once a full, checksum-verified frame is buffered.
+  bool complete() const { return complete_; }
+  /// Bytes still needed to finish the current frame (readers bound their
+  /// recv() with this so they never consume the start of the next frame).
+  std::size_t want() const;
+  /// Returns the completed payload and resets for the next frame.
+  Bytes take();
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::uint8_t header_[kSocketFrameHeaderBytes] = {};
+  std::size_t header_filled_ = 0;
+  std::size_t expected_ = 0;
+  std::uint64_t checksum_ = 0;
+  Bytes body_;
+  bool complete_ = false;
+};
+
+/// Parsed endpoint address. Accepted specs:
+///   "tcp:HOST:PORT"  numeric IPv4 (or "localhost") + port
+///   "unix:/path"     Unix-domain socket path
+struct SocketAddress {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kUnix;
+  std::string host;         ///< TCP only.
+  std::uint16_t port = 0;   ///< TCP only.
+  std::string path;         ///< Unix only.
+  std::string to_string() const;
+};
+
+/// INVALID_ARGUMENT on malformed specs (unknown scheme, bad port, overlong
+/// Unix path).
+common::Result<SocketAddress> parse_socket_address(const std::string& spec);
+
+struct SocketTransportConfig {
+  std::int64_t connect_timeout_ms = 1000;
+  /// Whole-call deadline: connect (if needed) + write + read must finish
+  /// inside it; expiry answers DEADLINE_EXCEEDED and drops the connection.
+  std::int64_t call_timeout_ms = 10000;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Reconnect backoff after a failed connect: base << consecutive
+  /// failures, capped, plus deterministic jitter in [0, delay/4).
+  std::int64_t backoff_base_ms = 10;
+  std::int64_t backoff_max_ms = 2000;
+  /// Seed of the jitter RNG (mixed with the endpoint address so channels
+  /// to different endpoints never share a jitter stream).
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Channel factory over real sockets. connect() is lazy — the socket is
+/// dialed on the first call(), and re-dialed (under backoff) whenever the
+/// connection drops — matching how a router is configured before its
+/// workers come up.
+class SocketTransport {
+ public:
+  explicit SocketTransport(SocketTransportConfig config = {});
+
+  /// Returns a channel to `address` ("tcp:HOST:PORT" or "unix:/path").
+  /// Malformed addresses still return a channel; its calls fail with the
+  /// parse error so the router's failover machinery sees a typed status.
+  std::shared_ptr<Channel> connect(const std::string& address);
+
+ private:
+  SocketTransportConfig config_;
+};
+
+struct SocketServerConfig {
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Deadline for finishing a partially received request frame and for
+  /// writing a response; a peer that stalls mid-frame is disconnected.
+  std::int64_t io_timeout_ms = 10000;
+};
+
+struct SocketServerCounters {
+  std::int64_t connections = 0;   ///< Accepted connections.
+  std::int64_t requests = 0;      ///< Handler invocations.
+  std::int64_t read_errors = 0;   ///< Connections dropped on bad input.
+
+  /// Single-line JSON object ({"connections":N,...}).
+  std::string to_json() const;
+};
+
+/// Listening side of the transport: accepts connections on a TCP or Unix
+/// socket and serves length-delimited request/response exchanges through a
+/// WireHandler (one thread per connection; connections are reused for any
+/// number of sequential calls). shutdown() is graceful: the listener
+/// closes first, idle connections drop, and in-flight requests run to
+/// completion — their responses are written before the connection closes.
+class SocketServer {
+ public:
+  explicit SocketServer(SocketServerConfig config = {});
+  ~SocketServer();  // Implies shutdown().
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds + listens on `address` and starts accepting. INVALID_ARGUMENT
+  /// on a malformed address, UNAVAILABLE when the bind/listen fails.
+  common::Status start(const std::string& address, WireHandler handler);
+
+  /// Resolved address actually bound ("tcp:host:port" with the real port
+  /// when started with port 0, the Unix path otherwise). Empty before
+  /// start().
+  const std::string& bound_address() const { return bound_address_; }
+
+  /// Stops accepting, drains in-flight requests, joins every connection
+  /// thread. Idempotent.
+  void shutdown();
+
+  SocketServerCounters counters() const;
+
+ private:
+  struct Impl;
+  void accept_loop();
+
+  SocketServerConfig config_;
+  std::string bound_address_;
+  std::shared_ptr<Impl> impl_;
+  std::thread accept_thread_;
+};
+
+}  // namespace diffpattern::dist

@@ -1,6 +1,9 @@
 #include "dist/transport.h"
 
+#include <chrono>
+#include <deque>
 #include <exception>
+#include <thread>
 #include <utility>
 
 namespace diffpattern::dist {
@@ -11,6 +14,8 @@ struct LoopbackTransport::Registry {
   struct Endpoint {
     WireHandler handler;
     bool reachable = true;
+    std::int64_t latency_ms = 0;
+    std::deque<common::Status> pending_failures;
   };
 
   std::mutex mutex;
@@ -27,6 +32,7 @@ class LoopbackChannel : public Channel {
 
   common::Result<Bytes> call(const Bytes& request) override {
     WireHandler handler;
+    std::int64_t latency_ms = 0;
     {
       std::lock_guard<std::mutex> lock(registry_->mutex);
       auto it = registry_->endpoints.find(endpoint_);
@@ -38,7 +44,17 @@ class LoopbackChannel : public Channel {
         return common::Status::Unavailable("endpoint '" + endpoint_ +
                                            "' is unreachable");
       }
+      if (!it->second.pending_failures.empty()) {
+        common::Status injected =
+            std::move(it->second.pending_failures.front());
+        it->second.pending_failures.pop_front();
+        return injected;
+      }
+      latency_ms = it->second.latency_ms;
       handler = it->second.handler;  // Copy: invoked outside the lock.
+    }
+    if (latency_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(latency_ms));
     }
     try {
       return handler(request);
@@ -82,6 +98,24 @@ void LoopbackTransport::set_endpoint_reachable(const std::string& name,
   auto it = registry_->endpoints.find(name);
   if (it != registry_->endpoints.end()) {
     it->second.reachable = reachable;
+  }
+}
+
+void LoopbackTransport::set_endpoint_latency(const std::string& name,
+                                             std::int64_t delay_ms) {
+  std::lock_guard<std::mutex> lock(registry_->mutex);
+  auto it = registry_->endpoints.find(name);
+  if (it != registry_->endpoints.end()) {
+    it->second.latency_ms = delay_ms > 0 ? delay_ms : 0;
+  }
+}
+
+void LoopbackTransport::inject_call_failure(const std::string& name,
+                                            common::Status status) {
+  std::lock_guard<std::mutex> lock(registry_->mutex);
+  auto it = registry_->endpoints.find(name);
+  if (it != registry_->endpoints.end()) {
+    it->second.pending_failures.push_back(std::move(status));
   }
 }
 

@@ -31,6 +31,16 @@ namespace diffpattern::dist {
 /// concatenation of frames (streaming responses).
 using WireHandler = std::function<Bytes(const Bytes& request)>;
 
+/// Connection-level statistics a channel exposes to its owner (the router
+/// folds these into RouterCounters so transport behavior is visible in one
+/// snapshot). In-process channels have nothing to reconnect and report
+/// zeros.
+struct ChannelStats {
+  std::int64_t connects = 0;    ///< Successful connection establishments.
+  std::int64_t reconnects = 0;  ///< Connects after the first (recoveries).
+  std::int64_t timeouts = 0;    ///< Calls that tripped a deadline.
+};
+
 /// One client connection to one endpoint. Thread-safe: call() may be issued
 /// from any thread.
 class Channel {
@@ -39,6 +49,8 @@ class Channel {
   virtual common::Result<Bytes> call(const Bytes& request) = 0;
   /// Endpoint name this channel targets (stable; used in router logs).
   virtual const std::string& endpoint() const = 0;
+  /// Connection statistics; default is all-zero (in-process transports).
+  virtual ChannelStats stats() const { return {}; }
 };
 
 /// In-process transport: a registry of named endpoints. Channels obtained
@@ -61,6 +73,15 @@ class LoopbackTransport {
   /// Partition injection: an unreachable endpoint stays registered but all
   /// calls to it fail with UNAVAILABLE until re-enabled.
   void set_endpoint_reachable(const std::string& name, bool reachable);
+  /// Latency injection: every call to `name` sleeps this long before the
+  /// handler runs (0 disables). Gives loopback tests the socket
+  /// transport's added-latency fault class without sockets.
+  void set_endpoint_latency(const std::string& name, std::int64_t delay_ms);
+  /// One-shot call failure: the next call to `name` returns `status`
+  /// instead of reaching the handler (injections queue in FIFO order).
+  /// Mirrors a socket-level timeout/reset so loopback suites can reuse the
+  /// chaos assertions.
+  void inject_call_failure(const std::string& name, common::Status status);
 
   /// Returns a channel to `name`. Connecting to a not-yet-registered
   /// endpoint is allowed (calls fail until it registers), matching how a

@@ -17,12 +17,19 @@ std::string WorkerWireCounters::to_json() const {
 
 WorkerNode::WorkerNode(std::string name, LoopbackTransport& transport,
                        service::ServiceConfig config)
-    : name_(std::move(name)), transport_(transport), service_(config) {
-  transport_.register_endpoint(
+    : name_(std::move(name)), transport_(&transport), service_(config) {
+  transport_->register_endpoint(
       name_, [this](const Bytes& request) { return handle(request); });
 }
 
-WorkerNode::~WorkerNode() { transport_.unregister_endpoint(name_); }
+WorkerNode::WorkerNode(std::string name, service::ServiceConfig config)
+    : name_(std::move(name)), transport_(nullptr), service_(config) {}
+
+WorkerNode::~WorkerNode() {
+  if (transport_ != nullptr) {
+    transport_->unregister_endpoint(name_);
+  }
+}
 
 WorkerHealth WorkerNode::health_snapshot() {
   const std::uint64_t seq =

@@ -40,6 +40,10 @@ class WorkerNode {
   /// registered by the caller through service().models().
   WorkerNode(std::string name, LoopbackTransport& transport,
              service::ServiceConfig config = service::ServiceConfig{});
+  /// Transport-free node: nothing is registered anywhere — the owner wires
+  /// handle() up itself (a SocketServer in the CLI's `serve` mode).
+  explicit WorkerNode(std::string name,
+                      service::ServiceConfig config = service::ServiceConfig{});
   ~WorkerNode();
   WorkerNode(const WorkerNode&) = delete;
   WorkerNode& operator=(const WorkerNode&) = delete;
@@ -62,7 +66,7 @@ class WorkerNode {
   Bytes handle_stream(const Bytes& frame);
 
   std::string name_;
-  LoopbackTransport& transport_;
+  LoopbackTransport* transport_;  ///< Null for transport-free nodes.
   service::PatternService service_;
   std::atomic<std::uint64_t> health_seq_{0};
   std::atomic<std::int64_t> calls_{0};

@@ -1,0 +1,374 @@
+// Chaos suite: a multi-worker SOCKET topology stormed through every
+// injected fault class — added latency, connection refusal, stalls that
+// trip the read deadline, mid-frame truncation, byte corruption, and
+// partitions — behind seeded FaultInjector proxies so each run is
+// reproducible. The invariant under test is the one that makes the serving
+// plane trustworthy: every admitted request returns bytes identical to a
+// direct PatternService call, and every fault surfaces as a typed status
+// (DATA_LOSS / UNAVAILABLE / DEADLINE_EXCEEDED lineage), never a hang, a
+// crash, or a silently wrong answer. The final test proves LoopbackTransport
+// fault parity: the same assertions run without sockets.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/fault_injection.h"
+#include "dist/router.h"
+#include "dist/socket_transport.h"
+#include "dist/transport.h"
+#include "dist/wire.h"
+#include "dist/worker_node.h"
+#include "service_test_util.h"
+#include "unet/unet.h"
+
+namespace dd = diffpattern::dist;
+namespace dc = diffpattern::common;
+namespace ds = diffpattern::service;
+
+namespace {
+
+using ds::test::mini_model_config;
+using ds::test::same_patterns;
+
+/// Socket topology: N workers, each listening on its own TCP port behind
+/// its own FaultInjector, fronted by a ReplicaRouter over SocketTransport
+/// channels that dial the INJECTORS. A transport-free golden worker with
+/// identical weights provides the direct-service reference bytes.
+class ChaosFailoverTest : public ::testing::Test {
+ protected:
+  ChaosFailoverTest()
+      : weights_(mini_model_config().unet_config(), /*seed=*/7),
+        golden_("golden") {
+    register_demo(golden_);
+  }
+
+  void register_demo(dd::WorkerNode& node) {
+    ASSERT_TRUE(node.service()
+                    .models()
+                    .register_model("demo", mini_model_config(),
+                                    weights_.registry(), {})
+                    .ok());
+  }
+
+  /// Brings up `count` worker+injector pairs and a router whose channels
+  /// carry `transport_cfg`. Injector i gets fault config `faults[i]`
+  /// (reused cyclically when fewer configs than workers are given).
+  void start_topology(int count,
+                      const std::vector<dd::FaultConfig>& faults,
+                      dd::SocketTransportConfig transport_cfg = {},
+                      dd::RouterConfig router_cfg = {}) {
+    transport_ = std::make_unique<dd::SocketTransport>(transport_cfg);
+    router_ = std::make_unique<dd::ReplicaRouter>(router_cfg);
+    for (int i = 0; i < count; ++i) {
+      ds::ServiceConfig config;
+      config.legalize_workers = 2;
+      config.max_fused_batch = 8;
+      auto node = std::make_unique<dd::WorkerNode>(
+          "w" + std::to_string(i), config);
+      register_demo(*node);
+      auto server = std::make_unique<dd::SocketServer>();
+      dd::WorkerNode* raw = node.get();
+      ASSERT_TRUE(server
+                      ->start("tcp:127.0.0.1:0",
+                              [raw](const dd::Bytes& request) {
+                                return raw->handle(request);
+                              })
+                      .ok());
+      auto injector = std::make_unique<dd::FaultInjector>(
+          faults.empty() ? dd::FaultConfig{}
+                         : faults[static_cast<std::size_t>(i) %
+                                  faults.size()]);
+      ASSERT_TRUE(
+          injector->start("tcp:127.0.0.1:0", server->bound_address()).ok());
+      router_->add_replica("demo", transport_->connect(injector->address()));
+      workers_.push_back(std::move(node));
+      servers_.push_back(std::move(server));
+      injectors_.push_back(std::move(injector));
+    }
+  }
+
+  void TearDown() override {
+    // Injectors first: their upstream channels must die before servers.
+    for (auto& injector : injectors_) {
+      injector->shutdown();
+    }
+    for (auto& server : servers_) {
+      server->shutdown();
+    }
+  }
+
+  ds::GenerateRequest demo_request(std::uint64_t seed) {
+    ds::GenerateRequest request;
+    request.model = "demo";
+    request.count = 2;
+    request.seed = seed;
+    return request;
+  }
+
+  /// Direct-service bytes for `seed` — the answer every routed success
+  /// must match bit for bit.
+  std::vector<diffpattern::layout::SquishPattern> golden_for(
+      std::uint64_t seed) {
+    auto result = golden_.service().generate(demo_request(seed));
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? std::move(result).value().patterns
+                       : std::vector<diffpattern::layout::SquishPattern>{};
+  }
+
+  diffpattern::unet::UNet weights_;
+  dd::WorkerNode golden_;
+  std::vector<std::unique_ptr<dd::WorkerNode>> workers_;
+  std::vector<std::unique_ptr<dd::SocketServer>> servers_;
+  std::vector<std::unique_ptr<dd::FaultInjector>> injectors_;
+  std::unique_ptr<dd::SocketTransport> transport_;
+  std::unique_ptr<dd::ReplicaRouter> router_;
+};
+
+dd::FaultConfig clean_faults(std::uint64_t seed = 1) {
+  dd::FaultConfig config;
+  config.seed = seed;
+  return config;
+}
+
+TEST_F(ChaosFailoverTest, InjectedLatencyPreservesBytes) {
+  auto slow = clean_faults(3);
+  slow.latency_ms = 30;
+  start_topology(2, {slow});
+  auto routed = router_->generate(demo_request(11));
+  ASSERT_TRUE(routed.ok()) << routed.status().to_string();
+  EXPECT_TRUE(same_patterns(routed->patterns, golden_for(11)));
+  std::int64_t relayed = 0;
+  for (const auto& injector : injectors_) {
+    relayed += injector->counters().relayed;
+  }
+  EXPECT_GE(relayed, 1);
+}
+
+TEST_F(ChaosFailoverTest, RefusedReplicaFailsOverWithTypedCounter) {
+  auto refusing = clean_faults(5);
+  refusing.refuse_probability = 1.0;
+  start_topology(2, {refusing, clean_faults(6)});
+  auto routed = router_->generate(demo_request(13));
+  ASSERT_TRUE(routed.ok()) << routed.status().to_string();
+  EXPECT_TRUE(same_patterns(routed->patterns, golden_for(13)));
+  const auto counters = router_->counters();
+  EXPECT_GE(counters.failovers, 1);
+  EXPECT_GE(counters.transport_errors, 1);
+  EXPECT_GE(injectors_[0]->counters().refused, 1);
+}
+
+TEST_F(ChaosFailoverTest, ResetAfterRequestFailsOver) {
+  auto resetting = clean_faults(7);
+  resetting.reset_probability = 1.0;
+  start_topology(2, {resetting, clean_faults(8)});
+  auto routed = router_->generate(demo_request(17));
+  ASSERT_TRUE(routed.ok()) << routed.status().to_string();
+  EXPECT_TRUE(same_patterns(routed->patterns, golden_for(17)));
+  EXPECT_GE(router_->counters().transport_errors, 1);
+  EXPECT_GE(injectors_[0]->counters().resets, 1);
+}
+
+TEST_F(ChaosFailoverTest, StallTripsDeadlineAndFailsOver) {
+  auto stalling = clean_faults(9);
+  stalling.stall_probability = 1.0;
+  dd::SocketTransportConfig transport_cfg;
+  transport_cfg.call_timeout_ms = 250;  // Small so the stall trips fast.
+  start_topology(2, {stalling, clean_faults(10)}, transport_cfg);
+  const auto started = std::chrono::steady_clock::now();
+  auto routed = router_->generate(demo_request(19));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+  ASSERT_TRUE(routed.ok()) << routed.status().to_string();
+  EXPECT_TRUE(same_patterns(routed->patterns, golden_for(19)));
+  EXPECT_LT(elapsed, 10000);  // Deadline bounded the stall, not a hang.
+  const auto counters = router_->counters();
+  EXPECT_GE(counters.transport_timeouts, 1);
+  EXPECT_GE(counters.failovers, 1);
+  EXPECT_GE(injectors_[0]->counters().stalled, 1);
+}
+
+TEST_F(ChaosFailoverTest, TruncatedResponseIsDataLossThenFailover) {
+  auto truncating = clean_faults(21);
+  truncating.truncate_probability = 1.0;
+  start_topology(2, {truncating, clean_faults(22)});
+  auto routed = router_->generate(demo_request(23));
+  ASSERT_TRUE(routed.ok()) << routed.status().to_string();
+  EXPECT_TRUE(same_patterns(routed->patterns, golden_for(23)));
+  EXPECT_GE(router_->counters().decode_failures, 1);
+  EXPECT_GE(injectors_[0]->counters().truncated, 1);
+}
+
+TEST_F(ChaosFailoverTest, CorruptedResponseNeverSurfacesAsWrongBytes) {
+  auto corrupting = clean_faults(25);
+  corrupting.corrupt_probability = 1.0;
+  start_topology(2, {corrupting, clean_faults(26)});
+  // The outer-frame checksum is the only thing between a flipped payload
+  // byte and a silently wrong pattern: the corrupt replica must be read
+  // as DATA_LOSS and the answer must come, bit-exact, from its peer.
+  auto routed = router_->generate(demo_request(29));
+  ASSERT_TRUE(routed.ok()) << routed.status().to_string();
+  EXPECT_TRUE(same_patterns(routed->patterns, golden_for(29)));
+  EXPECT_GE(router_->counters().decode_failures, 1);
+  EXPECT_GE(injectors_[0]->counters().corrupted, 1);
+}
+
+TEST_F(ChaosFailoverTest, PartitionHealsAfterRecovery) {
+  dd::SocketTransportConfig transport_cfg;
+  transport_cfg.call_timeout_ms = 2000;
+  transport_cfg.backoff_base_ms = 1;
+  transport_cfg.backoff_max_ms = 10;
+  dd::RouterConfig router_cfg;
+  router_cfg.health_refresh_every = 0;  // Probe explicitly below.
+  start_topology(2, {clean_faults(31), clean_faults(32)}, transport_cfg,
+                 router_cfg);
+  injectors_[0]->set_partitioned(true);
+
+  // Traffic survives the partition through the healthy replica.
+  for (std::uint64_t seed = 41; seed < 44; ++seed) {
+    auto routed = router_->generate(demo_request(seed));
+    ASSERT_TRUE(routed.ok()) << routed.status().to_string();
+    EXPECT_TRUE(same_patterns(routed->patterns, golden_for(seed)));
+  }
+  router_->refresh_health();
+  EXPECT_EQ(router_->healthy_replicas("demo"), 1);
+
+  injectors_[0]->set_partitioned(false);
+  // Probes may land inside the channel's backoff window right after the
+  // partition lifts; retry until the replica revives.
+  bool healed = false;
+  for (int attempt = 0; attempt < 100 && !healed; ++attempt) {
+    router_->refresh_health();
+    healed = router_->healthy_replicas("demo") == 2;
+    if (!healed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(healed);
+  auto routed = router_->generate(demo_request(47));
+  ASSERT_TRUE(routed.ok()) << routed.status().to_string();
+  EXPECT_TRUE(same_patterns(routed->patterns, golden_for(47)));
+}
+
+TEST_F(ChaosFailoverTest, MixedFaultStormStaysTypedAndByteIdentical) {
+  // Both replicas misbehave with every fault class at once; the run is
+  // still deterministic for the fixed seeds. Two invariants survive the
+  // storm: successes are bit-exact, failures are typed.
+  dd::FaultConfig stormy = clean_faults(1234);
+  stormy.latency_ms = 5;
+  stormy.refuse_probability = 0.15;
+  stormy.reset_probability = 0.10;
+  stormy.corrupt_probability = 0.10;
+  stormy.truncate_probability = 0.10;
+  stormy.stall_probability = 0.10;
+  dd::FaultConfig stormy2 = stormy;
+  stormy2.seed = 5678;
+  dd::SocketTransportConfig transport_cfg;
+  transport_cfg.call_timeout_ms = 300;  // Stalls must trip quickly.
+  transport_cfg.backoff_base_ms = 1;
+  transport_cfg.backoff_max_ms = 20;
+  start_topology(2, {stormy, stormy2}, transport_cfg);
+
+  const std::set<dc::StatusCode> typed = {
+      dc::StatusCode::kUnavailable,
+      dc::StatusCode::kResourceExhausted,
+      dc::StatusCode::kDeadlineExceeded,
+      dc::StatusCode::kDataLoss,
+  };
+  int successes = 0;
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    auto routed = router_->generate(demo_request(seed));
+    if (routed.ok()) {
+      ++successes;
+      EXPECT_TRUE(same_patterns(routed->patterns, golden_for(seed)))
+          << "seed " << seed << ": admitted bytes diverged from golden";
+    } else {
+      EXPECT_TRUE(typed.count(routed.status().code()) == 1)
+          << "seed " << seed << ": untyped failure "
+          << routed.status().to_string();
+    }
+  }
+  EXPECT_GE(successes, 1);  // Failover keeps the plane serving.
+
+  // Counter taxonomy: every failover is classified into exactly one
+  // fault class, so the breakdown must sum back to the total.
+  const auto counters = router_->counters();
+  EXPECT_EQ(counters.failovers, counters.transport_timeouts +
+                                    counters.transport_errors +
+                                    counters.decode_failures);
+}
+
+// Satellite: the loopback transport carries the same fault controls, so
+// chaos assertions run without sockets — per-call latency and one-shot
+// typed call failures drive the identical failover machinery.
+TEST(ChaosFailoverLoopback, FaultParityWithoutSockets) {
+  diffpattern::unet::UNet weights(mini_model_config().unet_config(),
+                                  /*seed=*/7);
+  dd::LoopbackTransport transport;
+  ds::ServiceConfig config;
+  config.legalize_workers = 2;
+  config.max_fused_batch = 8;
+  dd::WorkerNode w0("w0", transport, config);
+  dd::WorkerNode w1("w1", transport, config);
+  for (dd::WorkerNode* node : {&w0, &w1}) {
+    ASSERT_TRUE(node->service()
+                    .models()
+                    .register_model("demo", mini_model_config(),
+                                    weights.registry(), {})
+                    .ok());
+  }
+  dd::ReplicaRouter router;
+  router.add_replica("demo", transport.connect("w0"));
+  router.add_replica("demo", transport.connect("w1"));
+
+  ds::GenerateRequest request;
+  request.model = "demo";
+  request.count = 2;
+  request.seed = 51;
+  auto direct = w0.service().generate(request);
+  ASSERT_TRUE(direct.ok());
+
+  // One-shot injected timeout on w0: the router must classify it as a
+  // transport timeout and fail over to w1 with identical bytes.
+  transport.inject_call_failure(
+      "w0", dc::Status::DeadlineExceeded("injected stall"));
+  transport.inject_call_failure(
+      "w1", dc::Status::DeadlineExceeded("injected stall"));
+  auto routed = router.generate(request);
+  // Both replicas ate an injected timeout only if both were tried; at
+  // least one failover happened either way, and a success must be
+  // byte-identical.
+  if (routed.ok()) {
+    EXPECT_TRUE(same_patterns(routed->patterns, direct->patterns));
+  } else {
+    EXPECT_EQ(routed.status().code(), dc::StatusCode::kUnavailable);
+  }
+  const auto counters = router.counters();
+  EXPECT_GE(counters.transport_timeouts, 1);
+  EXPECT_EQ(counters.failovers, counters.transport_timeouts +
+                                    counters.transport_errors +
+                                    counters.decode_failures);
+
+  // Injected latency: the call still answers, just later.
+  transport.set_endpoint_latency("w0", 30);
+  const auto started = std::chrono::steady_clock::now();
+  auto channel = transport.connect("w0");
+  auto via_channel = channel->call(dd::encode_health_probe());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+  ASSERT_TRUE(via_channel.ok());
+  EXPECT_GE(elapsed, 30);
+}
+
+}  // namespace

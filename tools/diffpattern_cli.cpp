@@ -8,6 +8,9 @@
 //   diffpattern_cli render   --library library.bin --out-dir DIR [--limit N]
 //   diffpattern_cli serve-demo [--workers N] [--requests N] [--count N]
 //                              [--seed S] [--stats-json]
+//                              [--connect ADDR[,ADDR...]]
+//   diffpattern_cli serve    --listen tcp:HOST:PORT|unix:/path [--name S]
+//                            [--io-timeout-ms N] [--stats-json]
 //
 // All subcommands share one scaled pipeline configuration; `train` writes a
 // checkpoint that `generate` reloads, and `generate` emits a pattern
@@ -21,7 +24,10 @@
 // protocol + replica router) and proves cross-replica byte identity. Exit
 // code 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <algorithm>
+#include <atomic>
 #include <charconv>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <iostream>
 #include <limits>
@@ -29,11 +35,13 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/compute_pool.h"
 #include "core/pipeline.h"
 #include "dist/router.h"
+#include "dist/socket_transport.h"
 #include "dist/transport.h"
 #include "dist/worker_node.h"
 #include "tensor/simd.h"
@@ -89,7 +97,10 @@ int usage() {
       "  render   --library library.bin --out-dir DIR [--limit N]\n"
       "  export-gds --library library.bin --out patterns.gds [--layer N]\n"
       "  serve-demo [--workers N] [--requests N] [--count N] [--seed S]\n"
-      "             [--stats-json]\n\n"
+      "             [--stats-json] [--connect ADDR[,ADDR...]]\n"
+      "             [--call-timeout-ms N] [--connect-timeout-ms N]\n"
+      "  serve    --listen tcp:HOST:PORT|unix:/path [--name S]\n"
+      "           [--io-timeout-ms N] [--stats-json]\n\n"
       "Every subcommand accepts --threads N to size the compute pool used\n"
       "by the numeric kernels (default: DIFFPATTERN_THREADS env, else all\n"
       "hardware threads) and --kernel-backend scalar|avx2|neon|auto to pin\n"
@@ -102,7 +113,12 @@ int usage() {
       "serve-demo runs an in-process multi-worker serving plane (replica\n"
       "router + wire protocol over loopback), checks that every replica\n"
       "answers the reference request with byte-identical patterns, and with\n"
-      "--stats-json dumps router/worker counters as JSON.\n"
+      "--stats-json dumps router/worker counters as JSON. With --connect it\n"
+      "routes over real sockets instead: each ADDR is a running `serve`\n"
+      "worker, and byte identity is checked against a local golden model.\n"
+      "serve runs one worker as a listening process (demo model, fixed\n"
+      "weights); SIGINT/SIGTERM stops accepting, drains in-flight requests,\n"
+      "then exits 0 (with a final counter dump under --stats-json).\n"
       "--priority ranks the request against concurrent service traffic,\n"
       "--deadline-ms bounds its latency (DEADLINE_EXCEEDED past it), and\n"
       "--max-queue-depth caps the service's per-model admission window\n"
@@ -333,13 +349,126 @@ int cmd_render(const Args& args) {
   return 0;
 }
 
+/// The demo serving model: small and untrained, built from a FIXED weights
+/// seed (7) so every process constructing it — `serve` workers on separate
+/// hosts, `serve-demo` replicas, the local golden — is weight-identical
+/// the way checkpoint replicas would be.
+dp::service::ModelConfig demo_model_config() {
+  dp::service::ModelConfig model_cfg;
+  model_cfg.grid_side = 16;
+  model_cfg.channels = 4;
+  model_cfg.schedule = {.steps = 6, .beta_start = 0.01, .beta_end = 0.5};
+  model_cfg.model_channels = 8;
+  model_cfg.channel_mult = {1, 2};
+  model_cfg.num_res_blocks = 1;
+  model_cfg.attention_levels = {};
+  model_cfg.dropout = 0.0F;
+  return model_cfg;
+}
+
+constexpr std::uint64_t kDemoWeightsSeed = 7;
+constexpr const char* kDemoModelName = "demo";
+
+/// Socket-client mode of serve-demo: each --connect address is a running
+/// `serve` worker; the router fails over between them over real sockets,
+/// and byte identity is proven against a local golden built from the same
+/// demo model. Returns 0 on identity, 2 otherwise.
+int serve_demo_connect(const Args& args, std::int64_t requests,
+                       std::int64_t count, std::uint64_t seed) {
+  std::vector<std::string> addresses;
+  std::string list = args.get("connect", "");
+  for (std::size_t start = 0; start <= list.size();) {
+    const auto comma = list.find(',', start);
+    const auto end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) {
+      addresses.push_back(list.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  if (addresses.empty()) {
+    throw UsageError("--connect needs at least one address");
+  }
+
+  dp::dist::SocketTransportConfig transport_cfg;
+  transport_cfg.call_timeout_ms = args.get_int("call-timeout-ms", 10000);
+  transport_cfg.connect_timeout_ms = args.get_int("connect-timeout-ms", 1000);
+  transport_cfg.jitter_seed = seed;
+  dp::dist::SocketTransport transport(transport_cfg);
+  dp::dist::RouterConfig router_cfg;
+  router_cfg.seed = seed;
+  dp::dist::ReplicaRouter router(router_cfg);
+  for (const auto& address : addresses) {
+    router.add_replica(kDemoModelName, transport.connect(address));
+  }
+
+  std::cout << "serve-demo: routing over " << addresses.size()
+            << " socket replicas, " << requests << " requests of " << count
+            << " topologies...\n";
+  std::int64_t ok_requests = 0;
+  std::int64_t legal_patterns = 0;
+  for (std::int64_t r = 0; r < requests; ++r) {
+    dp::service::GenerateRequest request;
+    request.model = kDemoModelName;
+    request.count = count;
+    request.seed = seed + static_cast<std::uint64_t>(r);
+    auto result = router.generate(request);
+    if (result.ok()) {
+      ++ok_requests;
+      legal_patterns += static_cast<std::int64_t>(result->patterns.size());
+    } else {
+      std::cerr << "  request " << r << ": " << result.status().to_string()
+                << "\n";
+    }
+  }
+
+  // Byte identity vs a local golden: the workers serve the same fixed
+  // demo model, so routed bytes must equal a direct local generate.
+  auto model_cfg = demo_model_config();
+  const dp::unet::UNet weights(model_cfg.unet_config(), kDemoWeightsSeed);
+  dp::dist::WorkerNode golden_node("local-golden");
+  const auto registered = golden_node.service().models().register_model(
+      kDemoModelName, model_cfg, weights.registry(), {});
+  if (!registered.ok()) {
+    std::cerr << "serve-demo: " << registered.to_string() << "\n";
+    return 2;
+  }
+  dp::service::GenerateRequest reference;
+  reference.model = kDemoModelName;
+  reference.count = count;
+  reference.seed = seed;
+  auto golden = golden_node.service().generate(reference);
+  auto routed = router.generate(reference);
+  bool identical = golden.ok() && routed.ok();
+  if (identical) {
+    const auto& a = golden->patterns;
+    const auto& b = routed->patterns;
+    identical = a.size() == b.size();
+    for (std::size_t i = 0; identical && i < a.size(); ++i) {
+      identical = a[i].topology == b[i].topology && a[i].dx == b[i].dx &&
+                  a[i].dy == b[i].dy;
+    }
+  } else if (!routed.ok()) {
+    std::cerr << "serve-demo: reference request failed: "
+              << routed.status().to_string() << "\n";
+  }
+  std::cout << "routed " << ok_requests << "/" << requests
+            << " requests OK (" << legal_patterns << " legal patterns)\n"
+            << "socket-vs-golden byte identity: "
+            << (identical ? "PASS" : "FAIL") << "\n";
+  if (args.has("stats-json")) {
+    std::cout << "{\"router\":" + router.counters().to_json() + "}\n";
+  }
+  return identical ? 0 : 2;
+}
+
 /// In-process distributed-serving demo: N WorkerNodes behind a loopback
 /// transport, each serving an identically seeded (untrained) mini model,
 /// fronted by a load-aware ReplicaRouter. Drives a batch of requests
 /// through the router, then proves the determinism contract by asking
 /// every replica directly for the same (model, seed) request and
 /// byte-comparing the answers. --stats-json dumps router + per-worker
-/// counters as one JSON object.
+/// counters as one JSON object. With --connect, routes to running `serve`
+/// processes over sockets instead (see serve_demo_connect).
 int cmd_serve_demo(const Args& args) {
   const auto worker_count = args.get_int("workers", 3);
   if (worker_count < 1 || worker_count > 64) {
@@ -355,20 +484,12 @@ int cmd_serve_demo(const Args& args) {
     throw UsageError("--count must be >= 1");
   }
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+  if (args.has("connect")) {
+    return serve_demo_connect(args, requests, count, seed);
+  }
 
-  // A small untrained model: every worker builds its U-Net from the same
-  // fixed seed, so the replicas are weight-identical the way checkpoint
-  // replicas would be.
-  dp::service::ModelConfig model_cfg;
-  model_cfg.grid_side = 16;
-  model_cfg.channels = 4;
-  model_cfg.schedule = {.steps = 6, .beta_start = 0.01, .beta_end = 0.5};
-  model_cfg.model_channels = 8;
-  model_cfg.channel_mult = {1, 2};
-  model_cfg.num_res_blocks = 1;
-  model_cfg.attention_levels = {};
-  model_cfg.dropout = 0.0F;
-  const dp::unet::UNet weights(model_cfg.unet_config(), 7);
+  auto model_cfg = demo_model_config();
+  const dp::unet::UNet weights(model_cfg.unet_config(), kDemoWeightsSeed);
 
   dp::dist::LoopbackTransport transport;
   std::vector<std::unique_ptr<dp::dist::WorkerNode>> workers;
@@ -461,6 +582,74 @@ int cmd_serve_demo(const Args& args) {
   return identical ? 0 : 2;
 }
 
+/// Set by the SIGINT/SIGTERM handler; cmd_serve's wait loop polls it.
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) {
+  g_serve_stop.store(true, std::memory_order_relaxed);
+}
+
+/// Long-running worker process: one WorkerNode serving the demo model on a
+/// real listening socket. SIGINT/SIGTERM triggers a graceful drain — the
+/// listener closes, in-flight requests complete and answer, then the
+/// process exits 0, dumping final counters under --stats-json.
+int cmd_serve(const Args& args) {
+  const std::string listen = args.get("listen", "");
+  if (listen.empty()) {
+    throw UsageError(
+        "serve: --listen tcp:HOST:PORT or unix:/path is required");
+  }
+  const std::string name = args.get("name", "worker-0");
+  const auto io_timeout = args.get_int("io-timeout-ms", 10000);
+  if (io_timeout < 1) {
+    throw UsageError("--io-timeout-ms must be >= 1");
+  }
+
+  auto model_cfg = demo_model_config();
+  const dp::unet::UNet weights(model_cfg.unet_config(), kDemoWeightsSeed);
+  dp::service::ServiceConfig svc;
+  svc.legalize_workers = 2;
+  svc.max_fused_batch = 8;
+  dp::dist::WorkerNode node(name, svc);
+  const auto registered = node.service().models().register_model(
+      kDemoModelName, model_cfg, weights.registry(), {});
+  if (!registered.ok()) {
+    std::cerr << "serve: " << registered.to_string() << "\n";
+    return 2;
+  }
+
+  dp::dist::SocketServerConfig server_cfg;
+  server_cfg.io_timeout_ms = io_timeout;
+  dp::dist::SocketServer server(server_cfg);
+  const auto started = server.start(
+      listen, [&node](const dp::dist::Bytes& request) {
+        return node.handle(request);
+      });
+  if (!started.ok()) {
+    std::cerr << "serve: " << started.to_string() << "\n";
+    return 2;
+  }
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::cout << "serving model '" << kDemoModelName << "' as '" << name
+            << "' on " << server.bound_address()
+            << " (SIGINT/SIGTERM to drain and exit)" << std::endl;
+  while (!g_serve_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "serve: draining in-flight requests..." << std::endl;
+  server.shutdown();
+  if (args.has("stats-json")) {
+    std::string json = "{\"server\":" + server.counters().to_json();
+    json += ",\"wire\":" + node.wire_counters().to_json();
+    json += ",\"service\":" + node.service().counters().to_json();
+    json += "}";
+    std::cout << json << std::endl;
+  }
+  std::cout << "serve: drained, exiting" << std::endl;
+  return 0;
+}
+
 int cmd_export_gds(const Args& args) {
   if (!args.has("library") || !args.has("out")) {
     std::cerr << "export-gds: --library and --out are required\n";
@@ -521,6 +710,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "serve-demo") {
       return cmd_serve_demo(args);
+    }
+    if (args.command == "serve") {
+      return cmd_serve(args);
     }
     return usage();
   } catch (const UsageError& e) {
