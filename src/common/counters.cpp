@@ -29,6 +29,8 @@ std::string ServiceCounters::to_string() const {
       << "  shards_spawned:     " << shards_spawned << "\n"
       << "  rounds_executed:    " << rounds_executed << "\n"
       << "  denoise_steps:      " << denoise_steps << "\n"
+      << "  net_evals:          " << net_evals << "\n"
+      << "  steps_skipped:      " << steps_skipped << "\n"
       << "  fused_slots_total:  " << fused_slots_total << "\n"
       << "  max_round_slots:    " << max_round_slots << "\n"
       << "  fused_fill_ratio:   " << fused_fill_ratio << "\n"
@@ -38,6 +40,7 @@ std::string ServiceCounters::to_string() const {
       << "  patterns_delivered: " << patterns_delivered << "\n"
       << "  requests_shed:      " << requests_shed << "\n"
       << "  requests_degraded:  " << requests_degraded << "\n"
+      << "  requests_degraded_steps: " << requests_degraded_steps << "\n"
       << "  deadlines_expired:  " << deadlines_expired << "\n"
       << "  jobs_cancelled:     " << jobs_cancelled << "\n"
       << "  streams_abandoned:  " << streams_abandoned << "\n"
@@ -68,6 +71,8 @@ std::string ServiceCounters::to_json() const {
   out << ",\"shards_spawned\":" << shards_spawned;
   out << ",\"rounds_executed\":" << rounds_executed;
   out << ",\"denoise_steps\":" << denoise_steps;
+  out << ",\"net_evals\":" << net_evals;
+  out << ",\"steps_skipped\":" << steps_skipped;
   out << ",\"fused_slots_total\":" << fused_slots_total;
   out << ",\"max_round_slots\":" << max_round_slots;
   out << ",\"fused_fill_ratio\":" << fused_fill_ratio;
@@ -77,6 +82,7 @@ std::string ServiceCounters::to_json() const {
   out << ",\"patterns_delivered\":" << patterns_delivered;
   out << ",\"requests_shed\":" << requests_shed;
   out << ",\"requests_degraded\":" << requests_degraded;
+  out << ",\"requests_degraded_steps\":" << requests_degraded_steps;
   out << ",\"deadlines_expired\":" << deadlines_expired;
   out << ",\"jobs_cancelled\":" << jobs_cancelled;
   out << ",\"streams_abandoned\":" << streams_abandoned;
@@ -109,6 +115,8 @@ ServiceCounters CounterBlock::snapshot(std::int64_t max_fused_batch) const {
   s.shards_spawned = shards_spawned_.load(std::memory_order_relaxed);
   s.rounds_executed = rounds_executed_.load(std::memory_order_relaxed);
   s.denoise_steps = denoise_steps_.load(std::memory_order_relaxed);
+  s.net_evals = net_evals_.load(std::memory_order_relaxed);
+  s.steps_skipped = steps_skipped_.load(std::memory_order_relaxed);
   s.fused_slots_total = fused_slots_total_.load(std::memory_order_relaxed);
   s.max_round_slots = max_round_slots_.load(std::memory_order_relaxed);
   s.requests_accepted = requests_accepted_.load(std::memory_order_relaxed);
@@ -117,6 +125,8 @@ ServiceCounters CounterBlock::snapshot(std::int64_t max_fused_batch) const {
   s.patterns_delivered = patterns_delivered_.load(std::memory_order_relaxed);
   s.requests_shed = requests_shed_.load(std::memory_order_relaxed);
   s.requests_degraded = requests_degraded_.load(std::memory_order_relaxed);
+  s.requests_degraded_steps =
+      requests_degraded_steps_.load(std::memory_order_relaxed);
   s.deadlines_expired = deadlines_expired_.load(std::memory_order_relaxed);
   s.jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
   s.streams_abandoned = streams_abandoned_.load(std::memory_order_relaxed);

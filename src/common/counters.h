@@ -46,6 +46,13 @@ struct ServiceCounters {
   std::int64_t shards_spawned = 0;   ///< Shards ever created (lazy spawn).
   std::int64_t rounds_executed = 0;  ///< Fused sampling rounds run.
   std::int64_t denoise_steps = 0;    ///< Reverse-diffusion steps, all rounds.
+  /// U-Net slot-evaluations actually executed (sum over rounds of the
+  /// round's active batch). With strided sampling this grows slower than
+  /// fused_slots_total * K — the gap is the work the strides saved.
+  std::int64_t net_evals = 0;
+  /// Slot-steps strided schedules skipped: sum over slots of
+  /// (K - steps_run). net_evals + steps_skipped == slots * K.
+  std::int64_t steps_skipped = 0;
   std::int64_t fused_slots_total = 0;  ///< Slots summed over all rounds.
   std::int64_t max_round_slots = 0;    ///< Largest single fused round.
   std::int64_t requests_accepted = 0;  ///< Requests admitted for execution.
@@ -59,6 +66,9 @@ struct ServiceCounters {
   std::int64_t requests_shed = 0;
   /// Requests admitted in degraded mode (count shrunk instead of shed).
   std::int64_t requests_degraded = 0;
+  /// Requests admitted with a coarsened sampling stride instead of a
+  /// shrunk count (FlowControlConfig::degrade_stride under overload).
+  std::int64_t requests_degraded_steps = 0;
   /// Jobs cancelled by the scheduler because their deadline expired
   /// (queued or mid-sampling).
   std::int64_t deadlines_expired = 0;
@@ -126,8 +136,14 @@ class CounterBlock {
                                seen, slots, std::memory_order_relaxed)) {
     }
   }
-  void record_denoise_step() {
+  /// One fused reverse-diffusion round; `active_slots` is the batch that
+  /// actually ran it (strided schedules narrow the batch mid-job).
+  void record_denoise_step(std::int64_t active_slots) {
     denoise_steps_.fetch_add(1, std::memory_order_relaxed);
+    net_evals_.fetch_add(active_slots, std::memory_order_relaxed);
+  }
+  void add_steps_skipped(std::int64_t slot_steps) {
+    steps_skipped_.fetch_add(slot_steps, std::memory_order_relaxed);
   }
   void record_accepted() {
     requests_accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -144,6 +160,9 @@ class CounterBlock {
   }
   void record_degraded() {
     requests_degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_degraded_steps() {
+    requests_degraded_steps_.fetch_add(1, std::memory_order_relaxed);
   }
   void record_deadline_expired() {
     deadlines_expired_.fetch_add(1, std::memory_order_relaxed);
@@ -199,6 +218,8 @@ class CounterBlock {
   std::atomic<std::int64_t> shards_spawned_{0};
   std::atomic<std::int64_t> rounds_executed_{0};
   std::atomic<std::int64_t> denoise_steps_{0};
+  std::atomic<std::int64_t> net_evals_{0};
+  std::atomic<std::int64_t> steps_skipped_{0};
   std::atomic<std::int64_t> fused_slots_total_{0};
   std::atomic<std::int64_t> max_round_slots_{0};
   std::atomic<std::int64_t> requests_accepted_{0};
@@ -207,6 +228,7 @@ class CounterBlock {
   std::atomic<std::int64_t> patterns_delivered_{0};
   std::atomic<std::int64_t> requests_shed_{0};
   std::atomic<std::int64_t> requests_degraded_{0};
+  std::atomic<std::int64_t> requests_degraded_steps_{0};
   std::atomic<std::int64_t> deadlines_expired_{0};
   std::atomic<std::int64_t> jobs_cancelled_{0};
   std::atomic<std::int64_t> streams_abandoned_{0};

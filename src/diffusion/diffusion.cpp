@@ -1,5 +1,6 @@
 #include "diffusion/diffusion.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contracts.h"
@@ -285,6 +286,135 @@ Tensor sample_streams(unet::UNet& model, const BinarySchedule& schedule,
     }
   }
   require_binary(x, "sample_streams output");
+  return x;
+}
+
+std::int64_t strided_step_count(std::int64_t schedule_steps,
+                                std::int64_t stride) {
+  DP_REQUIRE(schedule_steps >= 1, "strided_step_count: bad schedule");
+  DP_REQUIRE(stride >= 1, "strided_step_count: stride must be >= 1");
+  return (schedule_steps + stride - 1) / stride;
+}
+
+tensor::Tensor sample_streams_strided(
+    unet::UNet& model, const BinarySchedule& schedule, std::int64_t height,
+    std::int64_t width, const SamplerConfig& config,
+    const std::vector<common::Rng*>& streams,
+    const std::vector<std::int64_t>& strides, const RoundHook& round_hook) {
+  const auto batch = static_cast<std::int64_t>(streams.size());
+  DP_REQUIRE(batch >= 1 && height >= 1 && width >= 1,
+             "sample_streams_strided: bad output shape");
+  DP_REQUIRE(strides.size() == streams.size(),
+             "sample_streams_strided: one stride per stream required");
+  for (const auto* s : streams) {
+    DP_REQUIRE(s != nullptr, "sample_streams_strided: null stream");
+  }
+  for (const auto stride : strides) {
+    DP_REQUIRE(stride >= 1 && stride <= schedule.steps(),
+               "sample_streams_strided: stride outside [1, K]");
+  }
+  nn::NoGradGuard no_grad;
+  const auto c = model.config().in_channels;
+  Tensor x({batch, c, height, width});
+  const auto per_sample = x.numel() / batch;
+  // Uniform stationary prior, drawn exactly as in sample_streams: slot n
+  // consumes only streams[n], tasks own whole slots, so the per-stream draw
+  // order (and therefore the bytes) is fixed for any thread count.
+  tensor::parallel_for(0, batch, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t n = n0; n < n1; ++n) {
+      float* slot = x.data() + n * per_sample;
+      for (std::int64_t i = 0; i < per_sample; ++i) {
+        slot[i] = streams[static_cast<std::size_t>(n)]->bernoulli(0.5) ? 1.0F
+                                                                       : 0.0F;
+      }
+    }
+  });
+
+  // Slot n's next step: starts at K, jumps by strides[n], 0 == finished.
+  std::vector<std::int64_t> current_k(static_cast<std::size_t>(batch),
+                                      schedule.steps());
+  std::vector<std::int64_t> active;
+  active.reserve(static_cast<std::size_t>(batch));
+  common::Rng forward_rng(0);  // Inference forward draws no randomness.
+  while (true) {
+    std::int64_t k = 0;
+    for (const auto ck : current_k) {
+      k = std::max(k, ck);
+    }
+    if (k < 1) {
+      break;
+    }
+    active.clear();
+    for (std::int64_t n = 0; n < batch; ++n) {
+      if (current_k[static_cast<std::size_t>(n)] == k) {
+        active.push_back(n);
+      }
+    }
+    const auto m = static_cast<std::int64_t>(active.size());
+
+    // One fused forward over exactly the active slots. Every network op
+    // treats batch entries independently, so gathering a sub-batch leaves
+    // each slot's logits bit-identical to any other batch composition —
+    // this is the narrowing that converts skipped steps into throughput.
+    Tensor p0_active;
+    if (m == batch) {
+      const std::vector<std::int64_t> ks(static_cast<std::size_t>(batch), k);
+      Var logits = model.forward(x, ks, /*training=*/false, forward_rng);
+      p0_active = unet::logits_to_prob1(logits, c).value();
+    } else {
+      Tensor xa({m, c, height, width});
+      for (std::int64_t j = 0; j < m; ++j) {
+        const float* src =
+            x.data() + active[static_cast<std::size_t>(j)] * per_sample;
+        std::copy(src, src + per_sample, xa.data() + j * per_sample);
+      }
+      const std::vector<std::int64_t> ks(static_cast<std::size_t>(m), k);
+      Var logits = model.forward(xa, ks, /*training=*/false, forward_rng);
+      p0_active = unet::logits_to_prob1(logits, c).value();
+    }
+
+    // Per-slot jump transitions, parallel across ACTIVE slots only; each
+    // task owns whole slots so stream draw order stays fixed.
+    tensor::parallel_for(0, m, [&](std::int64_t j0, std::int64_t j1) {
+      for (std::int64_t j = j0; j < j1; ++j) {
+        const auto n = active[static_cast<std::size_t>(j)];
+        const auto stride = strides[static_cast<std::size_t>(n)];
+        const std::int64_t k_prev = std::max<std::int64_t>(0, k - stride);
+        common::Rng& rng = *streams[static_cast<std::size_t>(n)];
+        float* slot = x.data() + n * per_sample;
+        const float* p0_slot = p0_active.data() + j * per_sample;
+        if (k_prev == 0) {
+          for (std::int64_t i = 0; i < per_sample; ++i) {
+            const double p = p0_slot[i];
+            const bool one =
+                config.final_argmax ? p >= 0.5 : rng.bernoulli(p);
+            slot[i] = one ? 1.0F : 0.0F;
+          }
+        } else {
+          // Jump posterior coefficients for this slot's (k_prev, k). At
+          // stride 1 these equal the ancestral posterior_prob1(k, ...)
+          // exactly (it delegates to posterior_prob1_between(k-1, k, ...)),
+          // which is what makes stride-1 reproduce sample_streams.
+          const double a0 = schedule.posterior_prob1_between(k_prev, k, 0, 1);
+          const double a1 = schedule.posterior_prob1_between(k_prev, k, 1, 1);
+          const double b0 = schedule.posterior_prob1_between(k_prev, k, 0, 0);
+          const double b1 = schedule.posterior_prob1_between(k_prev, k, 1, 0);
+          for (std::int64_t i = 0; i < per_sample; ++i) {
+            const int xkv = slot[i] != 0.0F ? 1 : 0;
+            const double a = xkv == 1 ? a1 : a0;
+            const double b = xkv == 1 ? b1 : b0;
+            const double p1 = a * p0_slot[i] + b * (1.0 - p0_slot[i]);
+            slot[i] = rng.bernoulli(p1) ? 1.0F : 0.0F;
+          }
+        }
+        current_k[static_cast<std::size_t>(n)] = k_prev;
+      }
+    });
+    if (round_hook) {
+      round_hook(k, m);
+    }
+  }
+  require_binary(x, "sample_streams_strided output");
   return x;
 }
 

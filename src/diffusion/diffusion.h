@@ -113,6 +113,32 @@ tensor::Tensor sample_streams(unet::UNet& model,
                               const std::vector<common::Rng*>& streams,
                               const RoundHook& round_hook = nullptr);
 
+/// Network evaluations a strided walk performs: the subsequence
+/// K, K - stride, ..., 1 has ceil(K / stride) entries. stride == 1 gives K
+/// (the full ancestral chain).
+std::int64_t strided_step_count(std::int64_t schedule_steps,
+                                std::int64_t stride);
+
+/// Fused strided reverse diffusion: like sample_streams, but slot i also
+/// carries its own step subsequence K, K - strides[i], K - 2*strides[i], ...
+/// (DDIM-style jumps via the generalized posterior
+/// q(x_{k_prev} | x_k, x0_tilde)). Each round runs ONE U-Net forward over
+/// exactly the slots whose subsequence visits that step, so the fused batch
+/// narrows as coarse-stride slots finish early — `round_hook` fires once per
+/// executed round with (k, active slots this round), which is what the
+/// service's fill-ratio accounting consumes. Slot i draws exclusively from
+/// *streams[i] in a fixed order, so its bytes are identical to a solo run
+/// with the same (stream, stride) regardless of which other strides share
+/// the batch. With strides[i] == 1 for all i this reproduces sample_streams
+/// bit for bit. strides must pair 1:1 with streams, each in
+/// [1, schedule.steps()].
+tensor::Tensor sample_streams_strided(
+    unet::UNet& model, const BinarySchedule& schedule, std::int64_t height,
+    std::int64_t width, const SamplerConfig& config,
+    const std::vector<common::Rng*>& streams,
+    const std::vector<std::int64_t>& strides,
+    const RoundHook& round_hook = nullptr);
+
 /// Strided (DDIM-style [12]) fast sampler: walks a subsequence of the K
 /// steps — K, K - stride, K - 2*stride, ..., 1 — using the generalized
 /// jump posterior q(x_{k_prev} | x_k, x0_tilde). stride == 1 reduces to the

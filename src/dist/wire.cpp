@@ -359,6 +359,10 @@ void put_stats(Bytes& out, const service::GenerateStats& stats) {
   put_f64(out, stats.sampling_seconds);
   put_f64(out, stats.solving_seconds);
   put_i64(out, stats.fused_batch_slots);
+  put_i64(out, stats.sampling_stride);
+  put_i64(out, stats.steps_run);
+  put_i64(out, stats.net_evals);
+  put_bool(out, stats.degraded_steps);
 }
 
 Status read_stats(Reader& reader, service::GenerateStats& out) {
@@ -370,7 +374,10 @@ Status read_stats(Reader& reader, service::GenerateStats& out) {
       !reader.read_i64(out.solver_rounds) ||
       !reader.read_f64(out.sampling_seconds) ||
       !reader.read_f64(out.solving_seconds) ||
-      !reader.read_i64(out.fused_batch_slots)) {
+      !reader.read_i64(out.fused_batch_slots) ||
+      !reader.read_i64(out.sampling_stride) ||
+      !reader.read_i64(out.steps_run) || !reader.read_i64(out.net_evals) ||
+      !reader.read_bool(out.degraded_steps)) {
     return Status::DataLoss("truncated generate stats");
   }
   return Status::Ok();
@@ -412,6 +419,8 @@ Bytes encode_generate_request(const service::GenerateRequest& request,
   put_i32(out, request.priority);
   put_i64(out, request.deadline_ms);
   put_bool(out, request.allow_degrade);
+  put_i64(out, request.sampling.steps);
+  put_i64(out, request.sampling.stride);
   seal_frame(out);
   return out;
 }
@@ -533,7 +542,9 @@ common::Result<service::GenerateRequest> decode_generate_request(
   }
   if (!reader.read_u64(request.seed) || !reader.read_i32(request.priority) ||
       !reader.read_i64(request.deadline_ms) ||
-      !reader.read_bool(request.allow_degrade)) {
+      !reader.read_bool(request.allow_degrade) ||
+      !reader.read_i64(request.sampling.steps) ||
+      !reader.read_i64(request.sampling.stride)) {
     return Status::DataLoss("truncated request tail");
   }
   if (Status s = require_exhausted(reader); !s.ok()) {

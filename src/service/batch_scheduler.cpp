@@ -356,11 +356,14 @@ void BatchScheduler::run_round(Shard& shard,
     try {
       std::vector<common::Rng> streams;
       streams.reserve(static_cast<std::size_t>(total_slots));
+      std::vector<std::int64_t> strides;
+      strides.reserve(static_cast<std::size_t>(total_slots));
       for (const auto& entry : round) {
         for (std::int64_t i = 0; i < entry.slots; ++i) {
           streams.emplace_back(common::derive_seed(
               entry.job->seed, kSampleStream,
               static_cast<std::uint64_t>(entry.slot_begin + i)));
+          strides.push_back(entry.job->stride);
         }
       }
       std::vector<common::Rng*> stream_ptrs;
@@ -369,11 +372,16 @@ void BatchScheduler::run_round(Shard& shard,
         stream_ptrs.push_back(&s);
       }
       common::Timer timer;
-      samples = diffusion::sample_streams(
+      // Jobs with different strides fuse into ONE round: each slot walks
+      // its own step subsequence and the batch narrows as coarse-stride
+      // slots finish. The hook sees the per-round ACTIVE batch, so
+      // net_evals (and the fill ratio derived from rounds) reflect work
+      // actually executed, not nominal slots.
+      samples = diffusion::sample_streams_strided(
           *model->model, *model->schedule, *folded, *folded,
-          diffusion::SamplerConfig{}, stream_ptrs,
-          [this](std::int64_t /*k*/, std::int64_t /*batch*/) {
-            counters_.record_denoise_step();
+          diffusion::SamplerConfig{}, stream_ptrs, strides,
+          [this](std::int64_t /*k*/, std::int64_t batch) {
+            counters_.record_denoise_step(batch);
           });
       round_seconds = timer.seconds();
     } catch (const std::exception& e) {
@@ -416,6 +424,11 @@ void BatchScheduler::run_round(Shard& shard,
                               static_cast<double>(entry.slots) /
                               static_cast<double>(total_slots);
       job.fused_batch_slots = std::max(job.fused_batch_slots, total_slots);
+      const auto steps_run = diffusion::strided_step_count(
+          model->schedule->steps(), job.stride);
+      job.net_evals += entry.slots * steps_run;
+      counters_.add_steps_skipped(entry.slots *
+                                  (model->schedule->steps() - steps_run));
       // Hook BEFORE finish(): the streaming path counts submitted slots in
       // the hook and trusts that no hook fires after the job's future
       // resolves.

@@ -52,6 +52,11 @@ struct SampleJob {
   std::shared_ptr<const ModelArtifacts> artifacts;
   std::int64_t count = 0;
   std::uint64_t seed = 0;
+  /// Reverse-diffusion stride for every slot of this job (1 = full
+  /// schedule). Jobs with different strides still fuse into one round:
+  /// the strided sampler walks each slot's own subsequence and narrows
+  /// the batch as coarse slots finish. Validated upstream to [1, K].
+  std::int64_t stride = 1;
 
   /// Scheduling class: shards keep their queues ordered by (priority
   /// descending, enqueue order) and rounds pop from the front, so a
@@ -85,6 +90,9 @@ struct SampleJob {
   std::vector<geometry::BinaryGrid> grids;
   double sampling_seconds = 0.0;
   std::int64_t fused_batch_slots = 0;
+  /// U-Net slot-evaluations this job's slots consumed across its rounds
+  /// (slots * ceil(K / stride) when it completes).
+  std::int64_t net_evals = 0;
   common::Status error;
   std::promise<void> done;
   bool fulfilled = false;

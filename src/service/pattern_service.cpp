@@ -13,6 +13,7 @@
 #include "common/compute_pool.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "diffusion/diffusion.h"
 #include "legalize/constraints.h"
 #include "service/batch_scheduler.h"
 #include "service/worker_pool.h"
@@ -91,6 +92,43 @@ struct StreamExec {
 };
 
 }  // namespace
+
+common::Result<std::int64_t> resolve_sampling_stride(
+    const SamplingSpec& spec, std::int64_t schedule_steps) {
+  if (spec.steps < 0 || spec.stride < 0) {
+    return common::Status::InvalidArgument(
+        "sampling.steps and sampling.stride must be >= 0 (0 = unset), got "
+        "steps " +
+        std::to_string(spec.steps) + ", stride " +
+        std::to_string(spec.stride));
+  }
+  if (spec.steps > 0 && spec.stride > 0) {
+    return common::Status::InvalidArgument(
+        "sampling.steps and sampling.stride are mutually exclusive (set at "
+        "most one)");
+  }
+  if (spec.stride > schedule_steps) {
+    return common::Status::InvalidArgument(
+        "sampling.stride " + std::to_string(spec.stride) +
+        " exceeds the model's schedule (" + std::to_string(schedule_steps) +
+        " steps)");
+  }
+  if (spec.steps > schedule_steps) {
+    return common::Status::InvalidArgument(
+        "sampling.steps " + std::to_string(spec.steps) +
+        " exceeds the model's schedule (" + std::to_string(schedule_steps) +
+        " steps)");
+  }
+  if (spec.stride > 0) {
+    return spec.stride;
+  }
+  if (spec.steps > 0) {
+    // Coarsest stride whose walk still runs >= spec.steps evaluations:
+    // ceil(K / stride) >= steps  <=>  stride <= K / steps (integer floor).
+    return std::max<std::int64_t>(1, schedule_steps / spec.steps);
+  }
+  return 1;  // Both unset: the full ancestral schedule.
+}
 
 std::vector<layout::SquishPattern> assemble_stream_patterns(
     std::vector<StreamedPattern> slots) {
@@ -228,11 +266,18 @@ common::Result<std::vector<geometry::BinaryGrid>>
 PatternService::Impl::run_sampling(
     std::shared_ptr<const ModelArtifacts> artifacts,
     const SampleTopologiesRequest& request, GenerateStats& stats) {
+  const auto schedule_steps = artifacts->config.schedule.steps;
+  const auto stride =
+      resolve_sampling_stride(request.sampling, schedule_steps);
+  if (!stride.ok()) {
+    return stride.status();
+  }
   // Flow control: occupy an admission window slot for the whole life of
   // the job (sampling-only requests cannot degrade — there is no partial
   // result shape to shrink into).
   const auto decision =
-      admission.admit(request.model, request.count, /*allow_degrade=*/false);
+      admission.admit(request.model, request.count, /*allow_degrade=*/false,
+                      *stride);
   if (!decision.status.ok()) {
     return decision.status;
   }
@@ -241,6 +286,7 @@ PatternService::Impl::run_sampling(
   job->artifacts = std::move(artifacts);
   job->count = request.count;
   job->seed = request.seed;
+  job->stride = *stride;
   job->priority = request.priority;
   if (request.deadline_ms > 0) {
     job->has_deadline = true;
@@ -259,6 +305,9 @@ PatternService::Impl::run_sampling(
     return job->error;
   }
   stats.topologies_admitted = request.count;
+  stats.sampling_stride = *stride;
+  stats.steps_run = diffusion::strided_step_count(schedule_steps, *stride);
+  stats.net_evals = job->net_evals;
   stats.sampling_seconds += job->sampling_seconds;
   stats.fused_batch_slots =
       std::max(stats.fused_batch_slots, job->fused_batch_slots);
@@ -434,13 +483,17 @@ void PatternService::Impl::submit_slots(
 
 namespace {
 
+/// `sampling` may be null (paths without a sampling leg, e.g.
+/// legalize_topologies); when set, the spec is validated against the
+/// model's schedule length after the registry check.
 common::Status validate_common(const PatternService& service,
                                const ServiceConfig& config,
                                const ModelRegistry& registry,
                                const std::string& model, std::int64_t count,
                                std::int64_t geometries,
                                const std::string& rule_set,
-                               std::int64_t deadline_ms) {
+                               std::int64_t deadline_ms,
+                               const SamplingSpec* sampling) {
   if (model.empty()) {
     return common::Status::InvalidArgument("request names no model");
   }
@@ -472,6 +525,17 @@ common::Status validate_common(const PatternService& service,
     return common::Status::NotFound("model '" + model +
                                     "' is not registered");
   }
+  if (sampling != nullptr) {
+    const auto artifacts = registry.lookup(model);
+    if (!artifacts.ok()) {
+      return artifacts.status();  // Raced an unregister.
+    }
+    const auto stride = resolve_sampling_stride(
+        *sampling, (*artifacts)->config.schedule.steps);
+    if (!stride.ok()) {
+      return stride.status();
+    }
+  }
   if (!rule_set.empty()) {
     const auto rules = service.rule_set(rule_set);
     if (!rules.ok()) {
@@ -497,7 +561,8 @@ common::Result<GenerateStats> PatternService::Impl::run_generate(
   }
   const auto valid = validate_common(
       service, config, registry, request.model, request.count,
-      request.geometries_per_topology, request.rule_set, request.deadline_ms);
+      request.geometries_per_topology, request.rule_set, request.deadline_ms,
+      &request.sampling);
   if (!valid.ok()) {
     return reject(valid);
   }
@@ -514,16 +579,30 @@ common::Result<GenerateStats> PatternService::Impl::run_generate(
     rules = std::move(named).value();
   }
 
+  const auto schedule_steps = (*artifacts)->config.schedule.steps;
+  const auto requested_stride =
+      resolve_sampling_stride(request.sampling, schedule_steps);
+  if (!requested_stride.ok()) {
+    return reject(requested_stride.status());  // Raced a model swap.
+  }
+
   // Flow control: a valid request may still be shed (typed, with a retry
-  // hint) or admitted with a degraded count. The window slot is held until
-  // this frame returns — i.e. until the job has fully left the system.
-  const auto decision =
-      admission.admit(request.model, request.count, request.allow_degrade);
+  // hint) or admitted with a degraded count — or, when the request opted
+  // in and degrade_stride is enabled, with a coarsened sampling stride
+  // (full count, fewer reverse steps). The window slot is held until this
+  // frame returns — i.e. until the job has fully left the system.
+  const auto decision = admission.admit(request.model, request.count,
+                                        request.allow_degrade,
+                                        *requested_stride);
   if (!decision.status.ok()) {
     return reject(decision.status);
   }
   const AdmissionGuard admission_guard{admission, request.model};
   const std::int64_t admitted_count = decision.admitted_count;
+  // degrade_stride is a service-wide knob, so clamp it to this model's
+  // schedule (a coarser-than-K stride would be rejected by the sampler).
+  const std::int64_t effective_stride =
+      std::min(decision.admitted_stride, schedule_steps);
 
   auto exec = std::make_shared<StreamExec>();
   exec->artifacts = *artifacts;
@@ -537,6 +616,7 @@ common::Result<GenerateStats> PatternService::Impl::run_generate(
   job->artifacts = *artifacts;
   job->count = admitted_count;
   job->seed = request.seed;
+  job->stride = effective_stride;
   job->priority = request.priority;
   if (request.deadline_ms > 0) {
     job->has_deadline = true;
@@ -587,6 +667,11 @@ common::Result<GenerateStats> PatternService::Impl::run_generate(
   GenerateStats stats = std::move(drained).value();
   stats.topologies_admitted = admitted_count;
   stats.degraded = decision.degraded;
+  stats.degraded_steps = decision.degraded_steps;
+  stats.sampling_stride = effective_stride;
+  stats.steps_run =
+      diffusion::strided_step_count(schedule_steps, effective_stride);
+  stats.net_evals = job->net_evals;
   stats.sampling_seconds += job->sampling_seconds;
   stats.fused_batch_slots =
       std::max(stats.fused_batch_slots, job->fused_batch_slots);
@@ -654,7 +739,8 @@ common::Status PatternService::validate(
   }
   return validate_common(*this, impl_->config, impl_->registry, request.model,
                          request.count, request.geometries_per_topology,
-                         request.rule_set, request.deadline_ms);
+                         request.rule_set, request.deadline_ms,
+                         &request.sampling);
 }
 
 common::Result<GenerateResult> PatternService::generate(
@@ -827,7 +913,8 @@ common::Result<SampleTopologiesResult> PatternService::sample_topologies(
   }
   const auto valid = validate_common(
       *this, impl_->config, impl_->registry, request.model, request.count,
-      /*geometries=*/1, /*rule_set=*/"", request.deadline_ms);
+      /*geometries=*/1, /*rule_set=*/"", request.deadline_ms,
+      &request.sampling);
   if (!valid.ok()) {
     return impl_->reject(valid);
   }
@@ -866,7 +953,8 @@ common::Result<GenerateResult> PatternService::legalize_topologies(
   const auto valid = validate_common(
       *this, impl_->config, impl_->registry, request.model,
       static_cast<std::int64_t>(request.topologies.size()),
-      request.geometries_per_topology, request.rule_set, /*deadline_ms=*/0);
+      request.geometries_per_topology, request.rule_set, /*deadline_ms=*/0,
+      /*sampling=*/nullptr);
   if (!valid.ok()) {
     return impl_->reject(valid);
   }

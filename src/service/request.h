@@ -10,10 +10,35 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "geometry/grid.h"
 #include "layout/squish.h"
 
 namespace diffpattern::service {
+
+/// Reduced-step sampling knob (DiffPattern-Flex): walk a strided
+/// subsequence of the model's K reverse-diffusion steps instead of all K,
+/// trading a controlled amount of sample quality for a proportional cut in
+/// U-Net evaluations. At most one of the two fields may be set:
+///   * steps  — target network evaluations; the service derives the
+///              coarsest stride whose walk runs at least this many steps.
+///   * stride — walk K, K - stride, K - 2*stride, ..., 1 directly.
+/// 0 means "unset"; both unset selects the full schedule (stride 1).
+/// Validation happens at admission: negative values, steps/stride > K, or
+/// setting both answer INVALID_ARGUMENT. Output stays a pure function of
+/// (model, seed, schedule incl. stride) — fusing with requests of other
+/// strides, thread count, and kernel backend never change the bytes.
+struct SamplingSpec {
+  std::int64_t steps = 0;
+  std::int64_t stride = 0;
+};
+
+/// Resolves a SamplingSpec against a model's schedule length K into the
+/// effective stride (1 = full schedule). INVALID_ARGUMENT on negative
+/// fields, both fields set, or either exceeding K. A `steps` target maps to
+/// the coarsest stride whose walk executes >= steps evaluations.
+common::Result<std::int64_t> resolve_sampling_stride(
+    const SamplingSpec& spec, std::int64_t schedule_steps);
 
 /// Full generation: sample `count` topologies from `model`, pre-filter,
 /// and legalize under the named rule set (DiffPattern-L when
@@ -40,8 +65,13 @@ struct GenerateRequest {
   /// Permits degraded admission under overload: instead of shedding, the
   /// service may shrink `count` (FlowControlConfig::degrade_divisor). The
   /// degraded output is the byte-identical prefix of the full request's;
-  /// stats report the shrink (GenerateStats::degraded).
+  /// stats report the shrink (GenerateStats::degraded). When
+  /// FlowControlConfig::degrade_stride is enabled, overload may instead
+  /// coarsen this request's sampling stride while keeping the full count
+  /// (GenerateStats::degraded_steps).
   bool allow_degrade = false;
+  /// Reduced-step sampling schedule; default = full schedule.
+  SamplingSpec sampling;
 };
 
 /// Topology sampling only (no legalization).
@@ -51,6 +81,7 @@ struct SampleTopologiesRequest {
   std::uint64_t seed = 0;
   std::int32_t priority = 0;     ///< See GenerateRequest::priority.
   std::int64_t deadline_ms = 0;  ///< See GenerateRequest::deadline_ms.
+  SamplingSpec sampling;         ///< See GenerateRequest::sampling.
 };
 
 /// Legalize externally produced topologies (baseline assessment flows).
@@ -107,6 +138,17 @@ struct GenerateStats {
   /// Largest fused sampling batch that carried this request's slots (== its
   /// own count when the request ran alone).
   std::int64_t fused_batch_slots = 0;
+  /// Effective sampling stride this request ran with (1 = full schedule).
+  /// Reflects flow-control step degradation when it applied.
+  std::int64_t sampling_stride = 1;
+  /// Reverse-diffusion steps each topology executed: ceil(K / stride).
+  std::int64_t steps_run = 0;
+  /// Total U-Net slot-evaluations this request consumed
+  /// (= topologies_admitted * steps_run).
+  std::int64_t net_evals = 0;
+  /// True when flow control coarsened this request's stride under overload
+  /// (allow_degrade set, FlowControlConfig::degrade_stride enabled).
+  bool degraded_steps = false;
 };
 
 struct GenerateResult {

@@ -73,6 +73,39 @@ std::uint64_t digest(const Tensor& t) {
 
 using diffpattern::testutil::BackendGuard;
 
+// Strided counterpart of run_sample_streams: same per-slot seed derivation
+// (so a stride-1 walk must reproduce sample_streams byte for byte), one
+// stride per slot.
+Tensor run_strided(du::UNet& model, const dd::BinarySchedule& schedule,
+                   const std::vector<std::int64_t>& strides,
+                   std::int64_t threads,
+                   const dd::RoundHook& hook = nullptr) {
+  EXPECT_TRUE(dc::set_global_compute_threads(threads).ok());
+  std::vector<dc::Rng> streams;
+  streams.reserve(strides.size());
+  for (std::uint64_t slot = 0; slot < strides.size(); ++slot) {
+    streams.emplace_back(dc::derive_seed(424242, /*stream=*/7, slot));
+  }
+  std::vector<dc::Rng*> ptrs;
+  for (auto& s : streams) {
+    ptrs.push_back(&s);
+  }
+  return dd::sample_streams_strided(model, schedule, /*height=*/8,
+                                    /*width=*/8, dd::SamplerConfig{}, ptrs,
+                                    strides, hook);
+}
+
+// Solo run of ONE slot with the stream that slot `slot` carries in a fused
+// run — the reference for fusion-invariance checks.
+Tensor run_solo_slot(du::UNet& model, const dd::BinarySchedule& schedule,
+                     std::uint64_t slot, std::int64_t stride) {
+  dc::Rng stream(dc::derive_seed(424242, /*stream=*/7, slot));
+  std::vector<dc::Rng*> ptrs{&stream};
+  return dd::sample_streams_strided(model, schedule, /*height=*/8,
+                                    /*width=*/8, dd::SamplerConfig{}, ptrs,
+                                    {stride});
+}
+
 }  // namespace
 
 TEST(SamplingDeterminism, SampleStreamsByteIdenticalAcrossThreadCounts) {
@@ -142,5 +175,139 @@ TEST(SamplingDeterminism, GoldenDigestPinnedUnderScalarDispatch) {
   constexpr std::uint64_t kGoldenDigest = 0x7373f45c5b440cb3ULL;
   EXPECT_EQ(run1, kGoldenDigest)
       << "sampled bytes drifted from the pinned golden digest";
+  EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
+}
+
+// A stride-1 walk through the strided sampler is the SAME algorithm as
+// sample_streams (posterior_prob1(k) == posterior_prob1_between(k-1, k),
+// identical draw order), so the bytes must match exactly. This is what
+// makes switching the serving hot path onto the strided sampler safe.
+TEST(SamplingDeterminism, StridedWithStrideOneMatchesSampleStreams) {
+  BackendGuard guard;
+  ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(
+                  diffpattern::tensor::KernelBackend::kScalar)
+                  .ok());
+  du::UNet model(micro_config(), /*seed=*/91);
+  dd::BinarySchedule schedule(dd::ScheduleConfig{.steps = 6});
+  const Tensor reference = run_sample_streams(model, schedule, 1);
+  const Tensor strided = run_strided(model, schedule, {1, 1, 1}, 1);
+  ASSERT_TRUE(reference.same_shape(strided));
+  EXPECT_EQ(std::memcmp(reference.data(), strided.data(),
+                        static_cast<std::size_t>(reference.numel()) *
+                            sizeof(float)),
+            0)
+      << "stride-1 strided sampling diverged from sample_streams";
+  EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
+}
+
+// The load-bearing fusion guarantee: a slot's bytes are a pure function of
+// (model, stream, stride) — mixing it into one fused batch with slots of
+// OTHER strides (which drop out of rounds its subsequence skips, narrowing
+// the batch) must not perturb it. Each fused slot is compared against a
+// solo run carrying the same stream.
+TEST(SamplingDeterminism, FusedMixedStridesByteIdenticalToSoloRuns) {
+  BackendGuard guard;
+  ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(
+                  diffpattern::tensor::KernelBackend::kScalar)
+                  .ok());
+  du::UNet model(micro_config(), /*seed=*/91);
+  dd::BinarySchedule schedule(dd::ScheduleConfig{.steps = 6});
+  const std::vector<std::int64_t> strides = {1, 2, 4};
+  const Tensor fused = run_strided(model, schedule, strides, 1);
+  const auto slot_floats =
+      static_cast<std::size_t>(fused.numel() / fused.shape()[0]);
+  for (std::uint64_t slot = 0; slot < strides.size(); ++slot) {
+    const Tensor solo = run_solo_slot(model, schedule, slot, strides[slot]);
+    ASSERT_EQ(static_cast<std::size_t>(solo.numel()), slot_floats);
+    EXPECT_EQ(std::memcmp(fused.data() + slot * slot_floats, solo.data(),
+                          slot_floats * sizeof(float)),
+              0)
+        << "slot " << slot << " (stride " << strides[slot]
+        << ") changed bytes when fused with other strides";
+  }
+  EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
+}
+
+// Strided sampling carries the full determinism contract of sample_streams:
+// thread count and kernel backend never reach the bytes.
+TEST(SamplingDeterminism, StridedByteIdenticalAcrossThreadsAndBackends) {
+  BackendGuard guard;
+  du::UNet model(micro_config(), /*seed=*/91);
+  dd::BinarySchedule schedule(dd::ScheduleConfig{.steps = 6});
+  const std::vector<std::int64_t> strides = {1, 2, 4};
+  ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(
+                  diffpattern::tensor::KernelBackend::kScalar)
+                  .ok());
+  const Tensor at_1 = run_strided(model, schedule, strides, 1);
+  const Tensor at_8 = run_strided(model, schedule, strides, 8);
+  const auto bytes = static_cast<std::size_t>(at_1.numel()) * sizeof(float);
+  ASSERT_TRUE(at_1.same_shape(at_8));
+  EXPECT_EQ(std::memcmp(at_1.data(), at_8.data(), bytes), 0)
+      << "thread count leaked into strided sampling bytes";
+  for (const auto backend : {diffpattern::tensor::KernelBackend::kAvx2,
+                             diffpattern::tensor::KernelBackend::kNeon}) {
+    if (!diffpattern::tensor::kernel_backend_supported(backend)) {
+      continue;
+    }
+    ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(backend).ok());
+    const Tensor vec = run_strided(model, schedule, strides, 1);
+    ASSERT_TRUE(at_1.same_shape(vec));
+    EXPECT_EQ(std::memcmp(at_1.data(), vec.data(), bytes), 0)
+        << "scalar vs "
+        << diffpattern::tensor::kernel_backend_label(backend)
+        << " strided sampling diverged";
+  }
+  EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
+}
+
+// The narrowing schedule itself: with K = 6 and strides {1, 4}, the
+// stride-4 slot participates in rounds k = 6 and k = 2 only (6 -> 2 ->
+// done), so the fused batch runs [2, 1, 1, 1, 2, 1] — 8 slot-evaluations
+// instead of 12. The hook feeding fill-ratio accounting must see exactly
+// this sequence.
+TEST(SamplingDeterminism, StridedRoundHookReportsNarrowingBatches) {
+  BackendGuard guard;
+  ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(
+                  diffpattern::tensor::KernelBackend::kScalar)
+                  .ok());
+  du::UNet model(micro_config(), /*seed=*/91);
+  dd::BinarySchedule schedule(dd::ScheduleConfig{.steps = 6});
+  std::vector<std::pair<std::int64_t, std::int64_t>> rounds;
+  run_strided(model, schedule, {1, 4}, 1,
+              [&rounds](std::int64_t k, std::int64_t batch) {
+                rounds.emplace_back(k, batch);
+              });
+  const std::vector<std::pair<std::int64_t, std::int64_t>> expected = {
+      {6, 2}, {5, 1}, {4, 1}, {3, 1}, {2, 2}, {1, 1}};
+  EXPECT_EQ(rounds, expected);
+  std::int64_t evals = 0;
+  for (const auto& [k, batch] : rounds) {
+    evals += batch;
+  }
+  EXPECT_EQ(evals, 8) << "expected 8 slot-evaluations, not 12";
+  EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
+}
+
+// Golden digests for the strided walks themselves, pinned under scalar
+// dispatch and 1 thread like kGoldenDigest above: coarse schedules are part
+// of the byte-determinism contract, so their bytes get the same cross-PR
+// drift tripwire as the full schedule.
+TEST(SamplingDeterminism, StridedGoldenDigestsPinnedUnderScalarDispatch) {
+  BackendGuard guard;
+  ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(
+                  diffpattern::tensor::KernelBackend::kScalar)
+                  .ok());
+  du::UNet model(micro_config(), /*seed=*/91);
+  dd::BinarySchedule schedule(dd::ScheduleConfig{.steps = 6});
+  const std::uint64_t stride2 =
+      digest(run_strided(model, schedule, {2, 2, 2}, 1));
+  const std::uint64_t stride4 =
+      digest(run_strided(model, schedule, {4, 4, 4}, 1));
+  constexpr std::uint64_t kGoldenStride2 = 0x65e920d3f743caaULL;
+  constexpr std::uint64_t kGoldenStride4 = 0xe86fe1f4f5d925daULL;
+  EXPECT_EQ(stride2, kGoldenStride2)
+      << "stride-2 bytes drifted from the pinned golden digest";
+  EXPECT_EQ(stride4, kGoldenStride4)
+      << "stride-4 bytes drifted from the pinned golden digest";
   EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
 }

@@ -1,0 +1,304 @@
+// Reduced-step sampling as a service knob: SamplingSpec validation at
+// admission, the steps -> stride resolution, net-eval accounting in stats
+// and service counters, stride degradation under overload, and the
+// serving-path fusion guarantee — requests with different strides sharing
+// one service produce the same bytes they produce alone. The mini model's
+// schedule has K = 6 steps, so stride 2 runs 3 evaluations per topology
+// and stride 4 runs 2.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "service/admission.h"
+#include "service/pattern_service.h"
+#include "service_test_util.h"
+#include "unet/unet.h"
+
+namespace ds = diffpattern::service;
+namespace dc = diffpattern::common;
+
+namespace {
+
+using ds::test::mini_model_config;
+using ds::test::same_patterns;
+
+constexpr std::int64_t kMiniSteps = 6;  // mini_model_config().schedule.steps
+
+class StridedSamplingTest : public ::testing::Test {
+ protected:
+  StridedSamplingTest() : model_(mini_model_config().unet_config(), 3) {}
+
+  std::unique_ptr<ds::PatternService> make_service(
+      ds::FlowControlConfig flow = permissive_flow()) {
+    ds::ServiceConfig config;
+    config.legalize_workers = 2;
+    config.max_fused_batch = 16;
+    config.flow = flow;
+    auto service = std::make_unique<ds::PatternService>(config);
+    EXPECT_TRUE(service->models()
+                    .register_model("a", mini_model_config(),
+                                    model_.registry(), {})
+                    .ok());
+    return service;
+  }
+
+  static ds::FlowControlConfig permissive_flow() {
+    ds::FlowControlConfig flow;
+    flow.max_queue_depth = 64;
+    flow.shed_queue_depth = 64;
+    flow.shed_fill_ratio = 0.0;
+    return flow;
+  }
+
+  diffpattern::unet::UNet model_;
+};
+
+// ------------------------------------------------- resolve + validation
+
+TEST(SamplingSpecResolve, MapsKnobsToStrides) {
+  // Unset -> full schedule.
+  EXPECT_EQ(*ds::resolve_sampling_stride({}, kMiniSteps), 1);
+  // Direct stride passes through.
+  EXPECT_EQ(*ds::resolve_sampling_stride({.stride = 3}, kMiniSteps), 3);
+  // steps target -> coarsest stride running >= that many evaluations.
+  EXPECT_EQ(*ds::resolve_sampling_stride({.steps = 6}, kMiniSteps), 1);
+  EXPECT_EQ(*ds::resolve_sampling_stride({.steps = 3}, kMiniSteps), 2);
+  EXPECT_EQ(*ds::resolve_sampling_stride({.steps = 1}, kMiniSteps), 6);
+  // steps = 4: stride 1 (6 evals) is the coarsest running >= 4 — floor
+  // division, never an undershoot.
+  EXPECT_EQ(*ds::resolve_sampling_stride({.steps = 4}, kMiniSteps), 1);
+}
+
+TEST(SamplingSpecResolve, RejectsMalformedSpecs) {
+  EXPECT_EQ(ds::resolve_sampling_stride({.steps = -1}, kMiniSteps)
+                .status()
+                .code(),
+            dc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(ds::resolve_sampling_stride({.stride = -2}, kMiniSteps)
+                .status()
+                .code(),
+            dc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(ds::resolve_sampling_stride({.steps = 2, .stride = 2},
+                                        kMiniSteps)
+                .status()
+                .code(),
+            dc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(ds::resolve_sampling_stride({.stride = kMiniSteps + 1},
+                                        kMiniSteps)
+                .status()
+                .code(),
+            dc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(ds::resolve_sampling_stride({.steps = kMiniSteps + 1},
+                                        kMiniSteps)
+                .status()
+                .code(),
+            dc::StatusCode::kInvalidArgument);
+}
+
+TEST_F(StridedSamplingTest, MalformedKnobAnswersInvalidArgumentAtAdmission) {
+  auto service = make_service();
+  ds::GenerateRequest request{.model = "a", .count = 1, .seed = 1};
+  request.sampling.stride = -1;
+  EXPECT_EQ(service->validate(request).code(),
+            dc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->generate(request).status().code(),
+            dc::StatusCode::kInvalidArgument);
+
+  request.sampling = {.steps = 3, .stride = 2};  // Mutually exclusive.
+  EXPECT_EQ(service->generate(request).status().code(),
+            dc::StatusCode::kInvalidArgument);
+
+  request.sampling = {.stride = kMiniSteps + 1};  // Jumps past the walk.
+  EXPECT_EQ(service->generate(request).status().code(),
+            dc::StatusCode::kInvalidArgument);
+
+  // The sampling-only surface shares the validation.
+  ds::SampleTopologiesRequest topo{.model = "a", .count = 1, .seed = 1};
+  topo.sampling.steps = -3;
+  EXPECT_EQ(service->sample_topologies(topo).status().code(),
+            dc::StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------- stats + counters
+
+TEST_F(StridedSamplingTest, StrideCutsNetEvalsAndIsReportedInStats) {
+  auto service = make_service();
+  ds::GenerateRequest request{.model = "a", .count = 2, .seed = 7};
+  request.sampling.stride = 2;
+  const auto result = service->generate(request);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->stats.sampling_stride, 2);
+  EXPECT_EQ(result->stats.steps_run, 3);  // ceil(6 / 2).
+  EXPECT_EQ(result->stats.net_evals, 6);  // 2 topologies * 3 steps.
+  EXPECT_FALSE(result->stats.degraded_steps);
+
+  // Service counters carry the fleet view: every executed slot-evaluation
+  // lands in net_evals, every skipped one in steps_skipped, and the two
+  // sum to slots * K.
+  const auto counters = service->counters();
+  EXPECT_EQ(counters.net_evals, 6);
+  EXPECT_EQ(counters.steps_skipped, 6);  // 2 topologies * (6 - 3).
+  EXPECT_EQ(counters.requests_degraded_steps, 0);
+}
+
+TEST_F(StridedSamplingTest, StepsTargetResolvesThroughTheServicePath) {
+  auto service = make_service();
+  ds::GenerateRequest request{.model = "a", .count = 2, .seed = 7};
+  request.sampling.steps = 3;  // -> stride 2 on the K = 6 schedule.
+  const auto by_steps = service->generate(request);
+  ASSERT_TRUE(by_steps.ok()) << by_steps.status().to_string();
+  EXPECT_EQ(by_steps->stats.sampling_stride, 2);
+  EXPECT_EQ(by_steps->stats.steps_run, 3);
+
+  // The steps form is pure sugar for its resolved stride: same bytes.
+  ds::GenerateRequest direct{.model = "a", .count = 2, .seed = 7};
+  direct.sampling.stride = 2;
+  const auto by_stride = make_service()->generate(direct);
+  ASSERT_TRUE(by_stride.ok());
+  EXPECT_TRUE(same_patterns(by_steps->patterns, by_stride->patterns));
+}
+
+TEST_F(StridedSamplingTest, SampleTopologiesCarriesTheKnob) {
+  auto service = make_service();
+  ds::SampleTopologiesRequest request{.model = "a", .count = 3, .seed = 9};
+  request.sampling.stride = 4;
+  const auto result = service->sample_topologies(request);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->topologies.size(), 3U);
+  EXPECT_EQ(result->stats.sampling_stride, 4);
+  EXPECT_EQ(result->stats.steps_run, 2);  // ceil(6 / 4).
+  EXPECT_EQ(result->stats.net_evals, 6);
+}
+
+// ------------------------------------------------- fusion invariance
+
+TEST_F(StridedSamplingTest, MixedStrideRequestsMatchTheirSoloRuns) {
+  // Solo references, one unloaded service each.
+  const std::vector<std::int64_t> strides = {1, 2, 4};
+  std::vector<std::vector<diffpattern::layout::SquishPattern>> references;
+  for (std::size_t i = 0; i < strides.size(); ++i) {
+    ds::GenerateRequest request{.model = "a", .count = 4,
+                                .seed = 100 + static_cast<std::uint64_t>(i)};
+    request.sampling.stride = strides[i];
+    const auto solo = make_service()->generate(request);
+    ASSERT_TRUE(solo.ok()) << solo.status().to_string();
+    references.push_back(solo->patterns);
+  }
+
+  // The same three requests race on ONE service whose fused budget fits
+  // them all, so sampling rounds mix strides (coarse slots drop out of
+  // rounds their subsequence skips). However the scheduler interleaves
+  // them, each request's bytes must match its solo run.
+  auto service = make_service();
+  std::vector<dc::Result<ds::GenerateResult>> results(
+      strides.size(), dc::Result<ds::GenerateResult>(
+                          dc::Status::Unavailable("unrun")));
+  {
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < strides.size(); ++i) {
+      clients.emplace_back([&, i] {
+        ds::GenerateRequest request{
+            .model = "a", .count = 4,
+            .seed = 100 + static_cast<std::uint64_t>(i)};
+        request.sampling.stride = strides[i];
+        results[i] = service->generate(request);
+      });
+    }
+    for (auto& client : clients) {
+      client.join();
+    }
+  }
+  for (std::size_t i = 0; i < strides.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().to_string();
+    EXPECT_EQ(results[i]->stats.sampling_stride, strides[i]);
+    EXPECT_TRUE(same_patterns(references[i], results[i]->patterns))
+        << "stride " << strides[i]
+        << " request changed bytes when mixed with other strides";
+  }
+}
+
+// ------------------------------------------------- stride degradation
+
+TEST(AdmissionControl, SoftBandCoarsensStrideBeforeShrinkingCount) {
+  dc::CounterBlock counters;
+  ds::FlowControlConfig flow;
+  flow.max_queue_depth = 4;
+  flow.shed_queue_depth = 2;
+  flow.shed_fill_ratio = 0.0;
+  flow.degrade_stride = 4;
+  ds::AdmissionController admission(flow, 8, counters);
+  ASSERT_TRUE(admission.admit("m", 8, false).status.ok());
+  ASSERT_TRUE(admission.admit("m", 8, false).status.ok());
+
+  // Soft band, degradable, still sampling finer than degrade_stride:
+  // keep the full count, coarsen the schedule instead.
+  const auto coarsened = admission.admit("m", 8, true, /*stride=*/1);
+  ASSERT_TRUE(coarsened.status.ok());
+  EXPECT_EQ(coarsened.admitted_count, 8);  // Topology count untouched.
+  EXPECT_EQ(coarsened.admitted_stride, 4);
+  EXPECT_TRUE(coarsened.degraded_steps);
+  EXPECT_FALSE(coarsened.degraded);
+
+  // Already as coarse as the policy would make it: fall back to the
+  // count-shrink degrade.
+  const auto shrunk = admission.admit("m", 8, true, /*stride=*/4);
+  ASSERT_TRUE(shrunk.status.ok());
+  EXPECT_EQ(shrunk.admitted_count, 4);
+  EXPECT_TRUE(shrunk.degraded);
+  EXPECT_FALSE(shrunk.degraded_steps);
+  EXPECT_EQ(shrunk.admitted_stride, 4);  // Its own stride, not coarsened.
+
+  EXPECT_EQ(counters.snapshot(8).requests_degraded_steps, 1);
+  EXPECT_EQ(counters.snapshot(8).requests_degraded, 1);
+}
+
+TEST_F(StridedSamplingTest, OverloadCoarsensStrideKeepingFullCount) {
+  // Reference: an UNLOADED run of the same request at the degrade stride —
+  // what the degraded request must reproduce byte for byte.
+  ds::GenerateRequest reference_request{.model = "a", .count = 4,
+                                        .seed = 55};
+  reference_request.sampling.stride = 4;
+  const auto reference = make_service()->generate(reference_request);
+  ASSERT_TRUE(reference.ok());
+
+  ds::FlowControlConfig flow;
+  flow.max_queue_depth = 4;
+  flow.shed_queue_depth = 1;
+  flow.shed_fill_ratio = 0.0;
+  flow.retry_after_ms = 10;
+  flow.degrade_stride = 4;
+  ds::ServiceConfig config;
+  config.legalize_workers = 2;
+  config.max_fused_batch = 1;  // ~8 rounds: holds the shard busy.
+  config.flow = flow;
+  auto service = std::make_unique<ds::PatternService>(config);
+  ASSERT_TRUE(service->models()
+                  .register_model("a", mini_model_config(),
+                                  model_.registry(), {})
+                  .ok());
+
+  const ds::GenerateRequest busy{.model = "a", .count = 8, .seed = 56};
+  std::thread holder([&] { ASSERT_TRUE(service->generate(busy).ok()); });
+  while (service->counters().admission_pending < 1) {
+    std::this_thread::yield();
+  }
+
+  ds::GenerateRequest flexible{.model = "a", .count = 4, .seed = 55};
+  flexible.allow_degrade = true;
+  const auto degraded = service->generate(flexible);
+  holder.join();
+  ASSERT_TRUE(degraded.ok()) << degraded.status().to_string();
+  EXPECT_TRUE(degraded->stats.degraded_steps);
+  EXPECT_FALSE(degraded->stats.degraded);
+  EXPECT_EQ(degraded->stats.topologies_admitted, 4);  // Full count kept.
+  EXPECT_EQ(degraded->stats.sampling_stride, 4);
+  EXPECT_EQ(degraded->stats.steps_run, 2);
+  // Coarsened under load == the same request explicitly asking for the
+  // coarse schedule on an idle service: degradation changes the schedule,
+  // never the sampling semantics.
+  EXPECT_TRUE(same_patterns(reference->patterns, degraded->patterns));
+  EXPECT_GE(service->counters().requests_degraded_steps, 1);
+}
+
+}  // namespace

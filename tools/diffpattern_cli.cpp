@@ -92,7 +92,7 @@ int usage() {
       "  generate --model model.ckpt --out library.bin [--count N]\n"
       "           [--geometries N] [--rules normal|space|area] [--seed S]\n"
       "           [--stream] [--stats] [--priority N] [--deadline-ms N]\n"
-      "           [--max-queue-depth N]\n"
+      "           [--max-queue-depth N] [--steps N | --stride N]\n"
       "  evaluate --library library.bin [--rules normal|space|area]\n"
       "  render   --library library.bin --out-dir DIR [--limit N]\n"
       "  export-gds --library library.bin --out patterns.gds [--layer N]\n"
@@ -122,7 +122,11 @@ int usage() {
       "--priority ranks the request against concurrent service traffic,\n"
       "--deadline-ms bounds its latency (DEADLINE_EXCEEDED past it), and\n"
       "--max-queue-depth caps the service's per-model admission window\n"
-      "(overload answers UNAVAILABLE/RESOURCE_EXHAUSTED + retry hint).\n";
+      "(overload answers UNAVAILABLE/RESOURCE_EXHAUSTED + retry hint).\n"
+      "generate --steps N targets N reverse-diffusion steps per topology\n"
+      "(--stride N sets the step subsequence directly; mutually exclusive,\n"
+      "both bounded by the schedule) — fewer steps trade sample quality\n"
+      "for proportionally fewer U-Net evaluations.\n";
   return 1;
 }
 
@@ -238,6 +242,35 @@ int cmd_generate(const Args& args) {
     throw UsageError("--deadline-ms must be >= 0, got " +
                      std::to_string(request.deadline_ms));
   }
+  if (args.has("steps") && args.has("stride")) {
+    throw UsageError(
+        "--steps and --stride are mutually exclusive (set at most one)");
+  }
+  if (args.has("steps")) {
+    const auto steps = args.get_int("steps", 0);
+    if (steps < 1) {
+      throw UsageError("--steps must be >= 1, got " + std::to_string(steps));
+    }
+    if (steps > cfg.schedule.steps) {
+      throw UsageError("--steps " + std::to_string(steps) +
+                       " exceeds the schedule (" +
+                       std::to_string(cfg.schedule.steps) + " steps)");
+    }
+    request.sampling.steps = steps;
+  }
+  if (args.has("stride")) {
+    const auto stride = args.get_int("stride", 0);
+    if (stride < 1) {
+      throw UsageError("--stride must be >= 1, got " +
+                       std::to_string(stride));
+    }
+    if (stride > cfg.schedule.steps) {
+      throw UsageError("--stride " + std::to_string(stride) +
+                       " exceeds the schedule (" +
+                       std::to_string(cfg.schedule.steps) + " steps)");
+    }
+    request.sampling.stride = stride;
+  }
   const auto checkpoint = args.get("model", "");
   if (!dp::nn::is_checkpoint_file(checkpoint)) {
     std::cerr << "generate: '" << checkpoint
@@ -297,6 +330,17 @@ int cmd_generate(const Args& args) {
               << result.stats.topologies_admitted << " of "
               << result.stats.topologies_requested
               << " topologies ran (service overloaded)\n";
+  }
+  if (result.stats.degraded_steps) {
+    std::cout << "note: admitted with a coarsened sampling stride "
+              << result.stats.sampling_stride
+              << " (service overloaded; full count kept)\n";
+  }
+  if (result.stats.sampling_stride > 1) {
+    std::cout << "sampling stride " << result.stats.sampling_stride << ": "
+              << result.stats.steps_run << " of " << cfg.schedule.steps
+              << " reverse steps per topology (" << result.stats.net_evals
+              << " net evals)\n";
   }
   std::cout << "emitted " << result.patterns.size() << " legal patterns ("
             << result.stats.prefilter_rejected << " pre-filtered, "
