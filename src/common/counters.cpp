@@ -45,6 +45,10 @@ std::string ServiceCounters::to_string() const {
       << "  jobs_cancelled:     " << jobs_cancelled << "\n"
       << "  streams_abandoned:  " << streams_abandoned << "\n"
       << "  stream_pauses:      " << stream_pauses << "\n"
+      << "  arena_bytes_reserved: " << arena_bytes_reserved << "\n"
+      << "  plan_cache_hits:    " << plan_cache_hits << "\n"
+      << "  plan_cache_misses:  " << plan_cache_misses << "\n"
+      << "  embedding_cache_hits: " << embedding_cache_hits << "\n"
       << "  rejects:            " << total_rejected();
   for (std::size_t i = 0; i < rejects_by_code.size(); ++i) {
     if (rejects_by_code[i] != 0) {
@@ -87,6 +91,10 @@ std::string ServiceCounters::to_json() const {
   out << ",\"jobs_cancelled\":" << jobs_cancelled;
   out << ",\"streams_abandoned\":" << streams_abandoned;
   out << ",\"stream_pauses\":" << stream_pauses;
+  out << ",\"arena_bytes_reserved\":" << arena_bytes_reserved;
+  out << ",\"plan_cache_hits\":" << plan_cache_hits;
+  out << ",\"plan_cache_misses\":" << plan_cache_misses;
+  out << ",\"embedding_cache_hits\":" << embedding_cache_hits;
   out << ",\"rejects_by_code\":{";
   bool first = true;
   for (std::size_t i = 0; i < rejects_by_code.size(); ++i) {

@@ -80,6 +80,18 @@ struct ServiceCounters {
   /// Times a delivery hit the bounded stream buffer's high-water mark and
   /// paused the legalization fan-out until the consumer drained.
   std::int64_t stream_pauses = 0;
+  // -- inference memory plan (filled by PatternService::counters() from
+  //    tensor::arena_stats() / unet::time_embedding_cache_hits(); process-
+  //    wide like kernel_backend, not per-CounterBlock) --
+  /// Bytes currently parked in activation-plan freelists (gauge).
+  std::int64_t arena_bytes_reserved = 0;
+  /// Rounds that leased an already-recorded activation plan.
+  std::int64_t plan_cache_hits = 0;
+  /// Rounds that had to record a fresh plan (first sight of a batch shape,
+  /// post-eviction re-record, or a lease conflict).
+  std::int64_t plan_cache_misses = 0;
+  /// Time-embedding rows served from the per-model post-MLP cache.
+  std::int64_t embedding_cache_hits = 0;
   /// Requests answered with a non-OK status, indexed by StatusCode value.
   std::array<std::int64_t, kStatusCodeCount> rejects_by_code{};
 

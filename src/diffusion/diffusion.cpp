@@ -5,6 +5,7 @@
 
 #include "common/contracts.h"
 #include "nn/ops.h"
+#include "tensor/arena.h"
 #include "tensor/parallel.h"
 #include "tensor/tensor_ops.h"
 
@@ -190,6 +191,9 @@ Tensor sample(unet::UNet& model, const BinarySchedule& schedule,
   }
 
   for (std::int64_t k = schedule.steps(); k >= 1; --k) {
+    // Lease this shape's activation plan for the round; every tensor the
+    // forward allocates below recycles through it (see tensor/arena.h).
+    tensor::ArenaScope arena_scope(model.plan_cache(), x.shape());
     const std::vector<std::int64_t> ks(static_cast<std::size_t>(batch), k);
     Var logits = model.forward(x, ks, /*training=*/false, rng);
     const Tensor p0 = unet::logits_to_prob1(logits, c).value();
@@ -252,6 +256,8 @@ Tensor sample_streams(unet::UNet& model, const BinarySchedule& schedule,
   // signature satisfied without coupling slots.
   common::Rng forward_rng(0);
   for (std::int64_t k = schedule.steps(); k >= 1; --k) {
+    // Round-scoped activation plan lease (see tensor/arena.h).
+    tensor::ArenaScope arena_scope(model.plan_cache(), x.shape());
     const std::vector<std::int64_t> ks(static_cast<std::size_t>(batch), k);
     Var logits = model.forward(x, ks, /*training=*/false, forward_rng);
     const Tensor p0 = unet::logits_to_prob1(logits, c).value();
@@ -356,6 +362,10 @@ tensor::Tensor sample_streams_strided(
     // treats batch entries independently, so gathering a sub-batch leaves
     // each slot's logits bit-identical to any other batch composition —
     // this is the narrowing that converts skipped steps into throughput.
+    // The plan lease is keyed by the NARROWED shape, so each sub-batch
+    // width the strides produce gets its own recycled plan.
+    tensor::ArenaScope arena_scope(model.plan_cache(),
+                                   tensor::Shape{m, c, height, width});
     Tensor p0_active;
     if (m == batch) {
       const std::vector<std::int64_t> ks(static_cast<std::size_t>(batch), k);
@@ -439,6 +449,8 @@ tensor::Tensor sample_strided(unet::UNet& model,
 
   std::int64_t k = schedule.steps();
   while (k >= 1) {
+    // Round-scoped activation plan lease (see tensor/arena.h).
+    tensor::ArenaScope arena_scope(model.plan_cache(), x.shape());
     const std::int64_t k_prev = std::max<std::int64_t>(0, k - stride);
     const std::vector<std::int64_t> ks(static_cast<std::size_t>(batch), k);
     Var logits = model.forward(x, ks, /*training=*/false, rng);

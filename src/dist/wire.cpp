@@ -404,6 +404,10 @@ WorkerHealth health_from_counters(const std::string& worker,
   health.requests_shed = counters.requests_shed;
   health.requests_accepted = counters.requests_accepted;
   health.requests_completed = counters.requests_completed;
+  health.arena_bytes_reserved = counters.arena_bytes_reserved;
+  health.plan_cache_hits = counters.plan_cache_hits;
+  health.plan_cache_misses = counters.plan_cache_misses;
+  health.embedding_cache_hits = counters.embedding_cache_hits;
   return health;
 }
 
@@ -464,6 +468,10 @@ Bytes encode_worker_health(const WorkerHealth& health) {
   put_i64(out, health.requests_shed);
   put_i64(out, health.requests_accepted);
   put_i64(out, health.requests_completed);
+  put_i64(out, health.arena_bytes_reserved);
+  put_i64(out, health.plan_cache_hits);
+  put_i64(out, health.plan_cache_misses);
+  put_i64(out, health.embedding_cache_hits);
   seal_frame(out);
   return out;
 }
@@ -628,7 +636,11 @@ common::Result<WorkerHealth> decode_worker_health(const Bytes& frame) {
       !reader.read_f64(health.fused_fill_ratio) ||
       !reader.read_i64(health.requests_shed) ||
       !reader.read_i64(health.requests_accepted) ||
-      !reader.read_i64(health.requests_completed)) {
+      !reader.read_i64(health.requests_completed) ||
+      !reader.read_i64(health.arena_bytes_reserved) ||
+      !reader.read_i64(health.plan_cache_hits) ||
+      !reader.read_i64(health.plan_cache_misses) ||
+      !reader.read_i64(health.embedding_cache_hits)) {
     return Status::DataLoss("truncated worker health");
   }
   if (Status s = require_exhausted(reader); !s.ok()) {

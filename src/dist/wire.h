@@ -57,6 +57,13 @@ struct WorkerHealth {
   std::int64_t requests_shed = 0;
   std::int64_t requests_accepted = 0;
   std::int64_t requests_completed = 0;
+  // Inference memory-plan health (see tensor/arena.h): lets the router's
+  // operator surface distinguish a replica running warm plans from one
+  // still recording (or running with the arena killed).
+  std::int64_t arena_bytes_reserved = 0;
+  std::int64_t plan_cache_hits = 0;
+  std::int64_t plan_cache_misses = 0;
+  std::int64_t embedding_cache_hits = 0;
 };
 
 /// Builds a health snapshot from a counters snapshot.

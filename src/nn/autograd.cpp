@@ -39,6 +39,21 @@ void accumulate_grad(Node& node, const Tensor& delta) {
   }
 }
 
+bool graph_needed(std::initializer_list<const Var*> operands) {
+  bool needed = false;
+  for (const Var* v : operands) {
+    DP_REQUIRE(v != nullptr && v->defined(), "op: undefined Var operand");
+    needed = needed || v->node()->requires_grad;
+  }
+  return needed && !NoGradGuard::active();
+}
+
+Var make_value_node(Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  return Var::from_node(std::move(node));
+}
+
 Var make_op_node(Tensor value, std::vector<Var> parents,
                  std::function<void(const Tensor&)> backward) {
   auto node = std::make_shared<Node>();

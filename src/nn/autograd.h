@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <vector>
 
@@ -96,6 +97,17 @@ namespace detail {
 /// requires gradients the closure is dropped (value-only node).
 Var make_op_node(Tensor value, std::vector<Var> parents,
                  std::function<void(const Tensor&)> backward);
+
+/// True when op application must build a backward graph: gradient mode is
+/// on and at least one operand requires gradients. Ops consult this BEFORE
+/// constructing their backward closure, so inference forwards skip the
+/// capture tensor copies and the std::function allocation entirely (the
+/// closure make_op_node would drop is never even built).
+bool graph_needed(std::initializer_list<const Var*> operands);
+
+/// Value-only result node for the inference fast path: no parents, no
+/// closure, no capture copies.
+Var make_value_node(Tensor value);
 
 /// Accumulates `delta` into the node's grad buffer (allocating if needed).
 void accumulate_grad(Node& node, const Tensor& delta);

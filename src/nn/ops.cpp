@@ -13,7 +13,9 @@ namespace diffpattern::nn {
 namespace {
 
 using detail::accumulate_grad;
+using detail::graph_needed;
 using detail::make_op_node;
+using detail::make_value_node;
 using tensor::parallel_elements;
 
 void require_same_shape(const Var& a, const Var& b, const char* op) {
@@ -40,6 +42,9 @@ Tensor map_unary(const Tensor& x, float (*f)(float)) {
 Var add(const Var& a, const Var& b) {
   require_same_shape(a, b, "add");
   Tensor out = tensor::add(a.value(), b.value());
+  if (!graph_needed({&a, &b})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   auto pb = b.node();
   return make_op_node(std::move(out), {a, b}, [pa, pb](const Tensor& g) {
@@ -54,6 +59,9 @@ Var sub(const Var& a, const Var& b) {
   for (std::int64_t i = 0; i < out.numel(); ++i) {
     out[i] -= b.value()[i];
   }
+  if (!graph_needed({&a, &b})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   auto pb = b.node();
   return make_op_node(std::move(out), {a, b}, [pa, pb](const Tensor& g) {
@@ -65,6 +73,9 @@ Var sub(const Var& a, const Var& b) {
 Var mul(const Var& a, const Var& b) {
   require_same_shape(a, b, "mul");
   Tensor out = tensor::mul(a.value(), b.value());
+  if (!graph_needed({&a, &b})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   auto pb = b.node();
   Tensor av = a.value();
@@ -81,6 +92,9 @@ Var neg(const Var& a) { return scale(a, -1.0F); }
 
 Var scale(const Var& a, float s) {
   Tensor out = tensor::scale(a.value(), s);
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   return make_op_node(std::move(out), {a}, [pa, s](const Tensor& g) {
     accumulate_grad(*pa, tensor::scale(g, s));
@@ -92,6 +106,9 @@ Var add_scalar(const Var& a, float s) {
   for (std::int64_t i = 0; i < out.numel(); ++i) {
     out[i] += s;
   }
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   return make_op_node(std::move(out), {a}, [pa](const Tensor& g) {
     accumulate_grad(*pa, g);
@@ -101,6 +118,9 @@ Var add_scalar(const Var& a, float s) {
 Var mul_const(const Var& a, const Tensor& c) {
   DP_REQUIRE(a.value().same_shape(c), "mul_const: shape mismatch");
   Tensor out = tensor::mul(a.value(), c);
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   Tensor cc = c;
   return make_op_node(std::move(out), {a},
@@ -112,6 +132,9 @@ Var mul_const(const Var& a, const Tensor& c) {
 Var add_const(const Var& a, const Tensor& c) {
   DP_REQUIRE(a.value().same_shape(c), "add_const: shape mismatch");
   Tensor out = tensor::add(a.value(), c);
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   return make_op_node(std::move(out), {a}, [pa](const Tensor& g) {
     accumulate_grad(*pa, g);
@@ -127,6 +150,9 @@ Var relu(const Var& a) {
   parallel_elements(out.numel(), [&](std::int64_t i0, std::int64_t i1) {
     kern.relu(po + i0, i1 - i0);
   });
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   Tensor x = a.value();
   return make_op_node(std::move(out), {a},
@@ -144,6 +170,9 @@ Var sigmoid(const Var& a) {
     return x >= 0.0F ? 1.0F / (1.0F + std::exp(-x))
                      : std::exp(x) / (1.0F + std::exp(x));
   });
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   Tensor s = out;
   return make_op_node(std::move(out), {a},
@@ -159,10 +188,23 @@ Var sigmoid(const Var& a) {
 Var silu(const Var& a) {
   const Tensor& x = a.value();
   Tensor out = x;
-  Tensor s(x.shape());
   float* po = out.data();
-  float* ps = s.data();
   const float* px = x.data();
+  if (!graph_needed({&a})) {
+    // Inference: same per-element formula, no sigmoid stash and no capture
+    // copies — bytes are identical to the training path below.
+    parallel_elements(x.numel(), [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float v = px[i];
+        const float sig = v >= 0.0F ? 1.0F / (1.0F + std::exp(-v))
+                                    : std::exp(v) / (1.0F + std::exp(v));
+        po[i] = v * sig;
+      }
+    });
+    return make_value_node(std::move(out));
+  }
+  Tensor s(x.shape());
+  float* ps = s.data();
   parallel_elements(x.numel(), [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       const float v = px[i];
@@ -203,6 +245,9 @@ Var gelu(const Var& a) {
       po[i] = 0.5F * v * (1.0F + t);
     }
   });
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   Tensor xc = x;
   return make_op_node(std::move(out), {a},
@@ -222,6 +267,9 @@ Var gelu(const Var& a) {
 
 Var tanh_act(const Var& a) {
   Tensor out = map_unary(a.value(), [](float x) { return std::tanh(x); });
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   Tensor t = out;
   return make_op_node(std::move(out), {a},
@@ -238,6 +286,9 @@ Var softplus(const Var& a) {
   Tensor out = map_unary(a.value(), [](float x) {
     return std::max(x, 0.0F) + std::log1p(std::exp(-std::abs(x)));
   });
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   Tensor x = a.value();
   return make_op_node(std::move(out), {a},
@@ -261,6 +312,9 @@ Var log_clamped(const Var& a, float eps) {
   for (std::int64_t i = 0; i < x.numel(); ++i) {
     out[i] = std::log(std::max(x[i], eps));
   }
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   Tensor xc = x;
   return make_op_node(std::move(out), {a},
@@ -277,6 +331,9 @@ Var log_clamped(const Var& a, float eps) {
 
 Var reshape(const Var& a, Shape shape) {
   Tensor out = a.value().reshaped(std::move(shape));
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   Shape original = a.value().shape();
   return make_op_node(std::move(out), {a},
@@ -344,6 +401,9 @@ Var permute(const Var& a, std::vector<std::int64_t> dims) {
     seen[static_cast<std::size_t>(d)] = true;
   }
   Tensor out = permute_tensor(a.value(), dims);
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   auto inv = inverse_permutation(dims);
   return make_op_node(std::move(out), {a},
@@ -367,6 +427,9 @@ Var slice_channels(const Var& x, std::int64_t c0, std::int64_t count) {
     const float* src = v.data() + (i * c + c0) * plane;
     float* dst = out.data() + i * count * plane;
     std::copy(src, src + count * plane, dst);
+  }
+  if (!graph_needed({&x})) {
+    return make_value_node(std::move(out));
   }
   auto pa = x.node();
   return make_op_node(
@@ -403,6 +466,9 @@ Var concat_channels(const Var& a, const Var& b) {
     float* dst = out.data() + i * (ca + cb) * plane;
     std::copy(sa, sa + ca * plane, dst);
     std::copy(sb, sb + cb * plane, dst + ca * plane);
+  }
+  if (!graph_needed({&a, &b})) {
+    return make_value_node(std::move(out));
   }
   auto pa = a.node();
   auto pb = b.node();
@@ -448,6 +514,9 @@ Var add_spatial_broadcast(const Var& x, const Var& bias_nc) {
       },
       std::max<std::int64_t>(1, tensor::kElementwiseGrain /
                                     std::max<std::int64_t>(1, plane)));
+  if (!graph_needed({&x, &bias_nc})) {
+    return make_value_node(std::move(out));
+  }
   auto px = x.node();
   auto pb = bias_nc.node();
   return make_op_node(std::move(out), {x, bias_nc},
@@ -474,6 +543,9 @@ Var detach(const Var& a) { return Var(a.value(), /*requires_grad=*/false); }
 
 Var matmul(const Var& a, const Var& b) {
   Tensor out = tensor::matmul(a.value(), b.value());
+  if (!graph_needed({&a, &b})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   auto pb = b.node();
   Tensor av = a.value();
@@ -522,6 +594,9 @@ Var bmm(const Var& a, const Var& b) {
       std::copy(ci.data(), ci.data() + m * n, out.data() + i * m * n);
     }
   });
+  if (!graph_needed({&a, &b})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   auto pb = b.node();
   Tensor av = va;
@@ -578,6 +653,9 @@ Var linear(const Var& x, const Var& w, const Var& b) {
   const float* pbias = vb.data();
   for (std::int64_t i = 0; i < n; ++i) {
     kern.add(out.data() + i * f, pbias, f);
+  }
+  if (!graph_needed({&x, &w, &b})) {
+    return make_value_node(std::move(out));
   }
   auto px = x.node();
   auto pw = w.node();
@@ -677,6 +755,9 @@ Var conv2d(const Var& x, const Var& w, const Var& b, std::int64_t stride,
       },
       std::max<std::int64_t>(1, tensor::kElementwiseGrain / n_out));
 
+  if (!graph_needed({&x, &w, &b})) {
+    return make_value_node(std::move(out));
+  }
   auto px = x.node();
   auto pw = w.node();
   auto pb = b.node();
@@ -777,6 +858,9 @@ Var group_norm(const Var& x, const Var& gamma, const Var& beta,
     }
   });
 
+  if (!graph_needed({&x, &gamma, &beta})) {
+    return make_value_node(std::move(out));
+  }
   auto px = x.node();
   auto pg = gamma.node();
   auto pb = beta.node();
@@ -884,6 +968,9 @@ Var layer_norm(const Var& x, const Var& gamma, const Var& beta, float eps) {
       },
       std::max<std::int64_t>(1, tensor::kElementwiseGrain /
                                     std::max<std::int64_t>(1, f)));
+  if (!graph_needed({&x, &gamma, &beta})) {
+    return make_value_node(std::move(out));
+  }
   auto px = x.node();
   auto pg = gamma.node();
   auto pb = beta.node();
@@ -942,6 +1029,9 @@ Var softmax_last(const Var& a) {
   const auto f = v.dim(-1);
   const auto rows = v.numel() / f;
   Tensor out = tensor::softmax_rows(v.reshaped({rows, f})).reshaped(v.shape());
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   Tensor y = out;
   return make_op_node(
@@ -972,6 +1062,9 @@ Var softmax_last(const Var& a) {
 
 Var sum_all(const Var& a) {
   Tensor out = Tensor::scalar(static_cast<float>(tensor::sum(a.value())));
+  if (!graph_needed({&a})) {
+    return make_value_node(std::move(out));
+  }
   auto pa = a.node();
   Shape shape = a.value().shape();
   return make_op_node(std::move(out), {a},
@@ -1011,6 +1104,9 @@ Var upsample_nearest2(const Var& x) {
       }
     }
   }
+  if (!graph_needed({&x})) {
+    return make_value_node(std::move(out));
+  }
   auto px = x.node();
   return make_op_node(std::move(out), {x}, [px, n, c, h, w](const Tensor& g) {
     Tensor d({n, c, h, w});
@@ -1049,6 +1145,9 @@ Var avg_pool2(const Var& x) {
       }
     }
   }
+  if (!graph_needed({&x})) {
+    return make_value_node(std::move(out));
+  }
   auto px = x.node();
   return make_op_node(std::move(out), {x}, [px, n, c, h, w](const Tensor& g) {
     Tensor d({n, c, h, w});
@@ -1084,6 +1183,9 @@ Var dropout(const Var& x, float p, bool training, common::Rng& rng) {
     mask[i] = rng.bernoulli(static_cast<double>(p)) ? 0.0F : keep_scale;
   }
   Tensor out = tensor::mul(v, mask);
+  if (!graph_needed({&x})) {
+    return make_value_node(std::move(out));
+  }
   auto px = x.node();
   return make_op_node(std::move(out), {x},
                       [px, mask = std::move(mask)](const Tensor& g) {
@@ -1102,6 +1204,9 @@ Var embedding_lookup(const Var& table, const std::vector<std::int64_t>& ids) {
     const auto id = ids[static_cast<std::size_t>(i)];
     DP_REQUIRE(id >= 0 && id < vocab, "embedding_lookup: id out of range");
     std::copy(v.data() + id * d, v.data() + (id + 1) * d, out.data() + i * d);
+  }
+  if (!graph_needed({&table})) {
+    return make_value_node(std::move(out));
   }
   auto pt = table.node();
   std::vector<std::int64_t> ids_copy = ids;

@@ -17,7 +17,9 @@
 #include "legalize/constraints.h"
 #include "service/batch_scheduler.h"
 #include "service/worker_pool.h"
+#include "tensor/arena.h"
 #include "tensor/simd.h"
+#include "unet/unet.h"
 
 namespace diffpattern::service {
 
@@ -187,6 +189,18 @@ struct PatternService::Impl {
       // with INVALID_ARGUMENT — never silently fall back to another
       // backend the operator did not ask for.
       config_error = tensor::set_kernel_backend_name(cfg.kernel_backend);
+    }
+    if (config_error.ok() && !cfg.activation_arena.empty()) {
+      if (cfg.activation_arena == "on") {
+        tensor::set_activation_arena_enabled(true);
+      } else if (cfg.activation_arena == "off") {
+        tensor::set_activation_arena_enabled(false);
+      } else {
+        config_error = common::Status(
+            common::StatusCode::kInvalidArgument,
+            "activation_arena must be \"on\" or \"off\", got \"" +
+                cfg.activation_arena + "\"");
+      }
     }
     rule_sets["normal"] = drc::standard_rules();
     rule_sets["space"] = drc::larger_space_rules();
@@ -697,6 +711,14 @@ common::ServiceCounters PatternService::counters() const {
   // (and any scraper) can attribute throughput to the dispatch in effect.
   snap.kernel_backend = tensor::kernel_backend_name();
   snap.compute_pool = common::compute_pool_summary();
+  // Inference memory-plan counters are process-wide (the arena lives in
+  // the tensor layer, the embedding cache in each model), same as the
+  // backend identity above.
+  const auto arena = tensor::arena_stats();
+  snap.arena_bytes_reserved = arena.bytes_reserved;
+  snap.plan_cache_hits = arena.plan_cache_hits;
+  snap.plan_cache_misses = arena.plan_cache_misses;
+  snap.embedding_cache_hits = unet::time_embedding_cache_hits();
   return snap;
 }
 

@@ -24,6 +24,16 @@ class Tensor {
   /// Tensor of the given shape, filled with `fill`.
   explicit Tensor(Shape shape, float fill = 0.0F);
 
+  // Storage routes through the thread-local ActivationArena (arena.h) when
+  // one is active: construction/growth acquires a recycled buffer,
+  // destruction donates the buffer back. Outside a scope these are the
+  // plain vector operations they always were. Moves just steal.
+  ~Tensor();
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept;
+
   /// Adopts `data`, which must have exactly the number of elements implied
   /// by `shape`.
   static Tensor from_data(Shape shape, std::vector<float> data);
@@ -39,7 +49,6 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& storage() { return storage_ref(); }
   const std::vector<float>& storage() const { return data_; }
 
   /// Bounds-checked multi-dimensional access.
@@ -71,12 +80,25 @@ class Tensor {
   std::string shape_string() const;
 
  private:
-  std::vector<float>& storage_ref() { return data_; }
   std::int64_t flat_index(std::initializer_list<std::int64_t> index) const;
 
   Shape shape_;
   std::vector<float> data_;
 };
+
+/// Process-wide tensor-storage allocation telemetry (relaxed atomics).
+/// heap_allocations counts every storage materialization that reached the
+/// heap (constructions, copies, growth, from_data adoptions); pool_reuses
+/// counts storages served by an active ActivationArena instead. The
+/// steady-state zero-allocation regression test asserts heap_allocations
+/// stays flat across denoising rounds with the arena on. Node/closure
+/// bookkeeping in nn/ is not storage and is not counted here.
+struct AllocStats {
+  std::int64_t heap_allocations = 0;
+  std::int64_t heap_bytes = 0;
+  std::int64_t pool_reuses = 0;
+};
+AllocStats tensor_alloc_stats();
 
 /// Number of elements implied by a shape (product of dimensions).
 std::int64_t shape_numel(const Shape& shape);

@@ -19,6 +19,7 @@
 
 #include "common/rng.h"
 #include "nn/modules.h"
+#include "tensor/arena.h"
 
 namespace diffpattern::unet {
 
@@ -45,6 +46,11 @@ struct UNetConfig {
 tensor::Tensor sinusoidal_time_embedding(const std::vector<std::int64_t>& k,
                                          std::int64_t dim);
 
+/// Process-wide count of time-embedding rows served from a model's post-MLP
+/// cache instead of recomputed (monotone total, relaxed atomics). Surfaced
+/// as ServiceCounters::embedding_cache_hits.
+std::int64_t time_embedding_cache_hits();
+
 class UNet {
  public:
   UNet(UNetConfig config, std::uint64_t seed);
@@ -61,10 +67,21 @@ class UNet {
   const nn::ParamRegistry& registry() const { return registry_; }
   const UNetConfig& config() const { return config_; }
 
+  /// Per-model activation-plan cache, leased by the diffusion round loops
+  /// (one plan per batch shape; see tensor/arena.h).
+  tensor::InferencePlanCache& plan_cache() { return *plan_cache_; }
+
  private:
   struct ResBlock;
   struct AttentionBlock;
   struct LevelBlocks;
+  struct TimeEmbedCache;
+
+  /// Inference-only: assembles the post-MLP time embedding [N, time_dim] by
+  /// row-copying per-step cached rows (computing and caching any step seen
+  /// for the first time). Invalidated by fingerprint when the time-MLP
+  /// parameters change (EMA swaps, optimizer steps).
+  tensor::Tensor cached_time_embedding(const std::vector<std::int64_t>& k);
 
   nn::Var apply_res_block(const ResBlock& block, nn::Var h,
                           const nn::Var& time_emb, bool training,
@@ -88,6 +105,9 @@ class UNet {
   // Head.
   std::unique_ptr<nn::GroupNorm> head_norm_;
   std::unique_ptr<nn::Conv2d> head_conv_;
+  // Inference caches (arena plans + per-step time embeddings).
+  std::unique_ptr<tensor::InferencePlanCache> plan_cache_;
+  std::unique_ptr<TimeEmbedCache> time_cache_;
 };
 
 /// Converts the 2-logit-per-channel output into per-entry probabilities of

@@ -178,6 +178,10 @@ TEST(DistWire, WorkerHealthRoundTrip) {
   health.requests_shed = 4;
   health.requests_accepted = 40;
   health.requests_completed = 36;
+  health.arena_bytes_reserved = 1 << 20;
+  health.plan_cache_hits = 250;
+  health.plan_cache_misses = 5;
+  health.embedding_cache_hits = 1200;
 
   const auto decoded =
       dd::decode_worker_health(dd::encode_worker_health(health));
@@ -190,6 +194,10 @@ TEST(DistWire, WorkerHealthRoundTrip) {
   EXPECT_EQ(decoded->requests_shed, 4);
   EXPECT_EQ(decoded->requests_accepted, 40);
   EXPECT_EQ(decoded->requests_completed, 36);
+  EXPECT_EQ(decoded->arena_bytes_reserved, 1 << 20);
+  EXPECT_EQ(decoded->plan_cache_hits, 250);
+  EXPECT_EQ(decoded->plan_cache_misses, 5);
+  EXPECT_EQ(decoded->embedding_cache_hits, 1200);
 }
 
 TEST(DistWire, StreamEndRoundTrip) {

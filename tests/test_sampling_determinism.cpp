@@ -14,6 +14,7 @@
 #include "common/compute_pool.h"
 #include "common/rng.h"
 #include "diffusion/diffusion.h"
+#include "tensor/arena.h"
 #include "tensor/simd.h"
 #include "ulp_test_util.h"
 
@@ -72,6 +73,21 @@ std::uint64_t digest(const Tensor& t) {
 }
 
 using diffpattern::testutil::BackendGuard;
+
+// Saves and restores the process-wide activation-arena switch so a test can
+// force either side of the kill switch without leaking into later tests.
+class ArenaGuard {
+ public:
+  ArenaGuard() : previous_(diffpattern::tensor::activation_arena_enabled()) {}
+  ~ArenaGuard() {
+    diffpattern::tensor::set_activation_arena_enabled(previous_);
+  }
+  ArenaGuard(const ArenaGuard&) = delete;
+  ArenaGuard& operator=(const ArenaGuard&) = delete;
+
+ private:
+  bool previous_;
+};
 
 // Strided counterpart of run_sample_streams: same per-slot seed derivation
 // (so a stride-1 walk must reproduce sample_streams byte for byte), one
@@ -309,5 +325,86 @@ TEST(SamplingDeterminism, StridedGoldenDigestsPinnedUnderScalarDispatch) {
       << "stride-2 bytes drifted from the pinned golden digest";
   EXPECT_EQ(stride4, kGoldenStride4)
       << "stride-4 bytes drifted from the pinned golden digest";
+  EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
+}
+
+// The inference memory plan (activation arena + time-embedding cache) is a
+// pure allocation strategy: it must never reach the bytes. Both sides of
+// the kill switch have to land on the SAME pinned golden digest — if the
+// arena-on digest moved, the plan perturbed floating-point results; if the
+// arena-off digest moved, the fast-path restructuring did.
+TEST(SamplingDeterminism, ArenaOnAndOffPinnedToSameGoldenDigest) {
+  BackendGuard backend_guard;
+  ArenaGuard arena_guard;
+  ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(
+                  diffpattern::tensor::KernelBackend::kScalar)
+                  .ok());
+  du::UNet model(micro_config(), /*seed=*/91);
+  dd::BinarySchedule schedule(dd::ScheduleConfig{.steps = 6});
+  constexpr std::uint64_t kGoldenDigest = 0x7373f45c5b440cb3ULL;
+  diffpattern::tensor::set_activation_arena_enabled(true);
+  EXPECT_EQ(digest(run_sample_streams(model, schedule, 1)), kGoldenDigest)
+      << "arena-on bytes drifted from the pinned golden digest";
+  diffpattern::tensor::set_activation_arena_enabled(false);
+  EXPECT_EQ(digest(run_sample_streams(model, schedule, 1)), kGoldenDigest)
+      << "arena-off bytes drifted from the pinned golden digest";
+  EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
+}
+
+// Arena on vs off byte identity across kernel backends and thread counts:
+// the recycled buffers must be invisible no matter which kernels write
+// into them or how many pool workers share the round.
+TEST(SamplingDeterminism, ArenaByteIdenticalAcrossBackendsAndThreads) {
+  BackendGuard backend_guard;
+  ArenaGuard arena_guard;
+  du::UNet model(micro_config(), /*seed=*/91);
+  dd::BinarySchedule schedule(dd::ScheduleConfig{.steps = 6});
+  ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(
+                  diffpattern::tensor::KernelBackend::kScalar)
+                  .ok());
+  diffpattern::tensor::set_activation_arena_enabled(false);
+  const std::uint64_t reference =
+      digest(run_sample_streams(model, schedule, 1));
+  diffpattern::tensor::set_activation_arena_enabled(true);
+  for (const auto backend : {diffpattern::tensor::KernelBackend::kScalar,
+                             diffpattern::tensor::KernelBackend::kAvx2,
+                             diffpattern::tensor::KernelBackend::kNeon}) {
+    if (!diffpattern::tensor::kernel_backend_supported(backend)) {
+      continue;
+    }
+    ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(backend).ok());
+    for (const std::int64_t threads : {1, 8}) {
+      EXPECT_EQ(digest(run_sample_streams(model, schedule, threads)),
+                reference)
+          << "arena-on sampling diverged from arena-off under "
+          << diffpattern::tensor::kernel_backend_label(backend) << " with "
+          << threads << " thread(s)";
+    }
+  }
+  EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
+}
+
+// Mixed-stride fused batches narrow mid-job, so rounds lease differently
+// shaped plans back to back (batch 3, then 2, then 1...). The plan churn
+// must not perturb any slot: arena-on fused bytes must equal arena-off.
+TEST(SamplingDeterminism, ArenaByteIdenticalOnMixedStrideFusedBatches) {
+  BackendGuard backend_guard;
+  ArenaGuard arena_guard;
+  ASSERT_TRUE(diffpattern::tensor::set_kernel_backend(
+                  diffpattern::tensor::KernelBackend::kScalar)
+                  .ok());
+  du::UNet model(micro_config(), /*seed=*/91);
+  dd::BinarySchedule schedule(dd::ScheduleConfig{.steps = 6});
+  const std::vector<std::int64_t> strides = {1, 2, 4};
+  diffpattern::tensor::set_activation_arena_enabled(false);
+  const Tensor reference = run_strided(model, schedule, strides, 1);
+  diffpattern::tensor::set_activation_arena_enabled(true);
+  const Tensor with_arena = run_strided(model, schedule, strides, 1);
+  ASSERT_TRUE(reference.same_shape(with_arena));
+  EXPECT_EQ(std::memcmp(reference.data(), with_arena.data(),
+                        static_cast<std::size_t>(reference.numel()) *
+                            sizeof(float)),
+            0)
+      << "activation arena changed mixed-stride fused sampling bytes";
   EXPECT_TRUE(dc::set_global_compute_threads(-1).ok());
 }

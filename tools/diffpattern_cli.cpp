@@ -44,6 +44,7 @@
 #include "dist/socket_transport.h"
 #include "dist/transport.h"
 #include "dist/worker_node.h"
+#include "tensor/arena.h"
 #include "tensor/simd.h"
 #include "drc/checker.h"
 #include "io/gds.h"
@@ -106,7 +107,10 @@ int usage() {
       "hardware threads) and --kernel-backend scalar|avx2|neon|auto to pin\n"
       "the SIMD dispatch (default: DIFFPATTERN_KERNEL_BACKEND env, else the\n"
       "best backend this CPU supports; unsupported ISAs are a usage error).\n"
-      "Results are identical for every thread count and backend.\n"
+      "--arena on|off toggles the inference memory plan (activation arena +\n"
+      "time-embedding cache; default: DIFFPATTERN_ARENA env, else on).\n"
+      "Results are identical for every thread count, backend, and arena\n"
+      "setting.\n"
       "generate --stream prints each pattern (index + legality) as it is\n"
       "delivered; --stats dumps the service counters after the run and\n"
       "--stats-json emits the same snapshot as one JSON object.\n"
@@ -154,6 +158,24 @@ void apply_kernel_backend_option(const Args& args) {
       dp::tensor::set_kernel_backend_name(args.get("kernel-backend", ""));
   if (!status.ok()) {
     throw UsageError("--kernel-backend: " + status.message());
+  }
+}
+
+/// Applies --arena to the process-wide inference memory plan (activation
+/// arena + time-embedding cache). Only "on" and "off" are accepted; output
+/// bytes do not depend on the setting.
+void apply_arena_option(const Args& args) {
+  if (!args.has("arena")) {
+    return;
+  }
+  const auto mode = args.get("arena", "");
+  if (mode == "on") {
+    dp::tensor::set_activation_arena_enabled(true);
+  } else if (mode == "off") {
+    dp::tensor::set_activation_arena_enabled(false);
+  } else {
+    throw UsageError("--arena: expected \"on\" or \"off\", got \"" + mode +
+                     "\"");
   }
 }
 
@@ -737,6 +759,7 @@ int main(int argc, char** argv) {
   try {
     apply_thread_option(args);
     apply_kernel_backend_option(args);
+    apply_arena_option(args);
     if (args.command == "train") {
       return cmd_train(args);
     }
