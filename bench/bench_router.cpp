@@ -22,6 +22,7 @@
 // every request completing with bit-identical bytes.
 // Emits BENCH_router.json.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <iostream>
@@ -339,6 +340,89 @@ int main() {
                       sk.results[static_cast<std::size_t>(i)].patterns);
   }
 
+  // ---- Pool phase: the same exchange, serialized (max_connections = 1,
+  // the pre-pool behavior) vs pooled (max_connections = 8), against one
+  // server whose handler holds each request for a fixed 5 ms. Eight
+  // concurrent callers: serialized they queue behind one fd, pooled they
+  // overlap on separate connections. Echoed bytes are compared so the
+  // pool's correctness (bytes identical by construction) rides along with
+  // its latency claim.
+  constexpr int kPoolThreads = 8;
+  constexpr int kPoolCallsPerThread = 6;
+  dd::SocketServer echo_server;
+  const auto echo_started = echo_server.start(
+      "tcp:127.0.0.1:0", [](const dd::Bytes& request) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return request;
+      });
+  if (!echo_started.ok()) {
+    std::cerr << "[bench] pool phase server failed to start: "
+              << echo_started.to_string() << "\n";
+    return 1;
+  }
+  bool pool_bytes_identical = true;
+  const auto run_pool_arm = [&](std::size_t max_connections) {
+    dd::SocketTransportConfig pool_cfg;
+    pool_cfg.max_connections = max_connections;
+    pool_cfg.call_timeout_ms = 10000;
+    dd::SocketTransport pool_transport(pool_cfg);
+    auto channel = pool_transport.connect(echo_server.bound_address());
+    std::vector<std::vector<double>> latencies(kPoolThreads);
+    std::vector<std::thread> callers;
+    std::atomic<int> failures{0};
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < kPoolThreads; ++t) {
+      callers.emplace_back([&, t] {
+        for (int i = 0; i < kPoolCallsPerThread; ++i) {
+          dd::Bytes payload(64);
+          for (std::size_t b = 0; b < payload.size(); ++b) {
+            payload[b] = static_cast<std::uint8_t>(
+                (t * 131 + i * 17 + static_cast<int>(b)) & 0xFF);
+          }
+          dp::common::Timer timer;
+          auto response = channel->call(payload);
+          if (!response.ok()) {
+            failures.fetch_add(1);
+          } else if (response.value() != payload) {
+            mismatches.fetch_add(1);
+          } else {
+            latencies[static_cast<std::size_t>(t)].push_back(timer.seconds());
+          }
+        }
+      });
+    }
+    for (auto& caller : callers) {
+      caller.join();
+    }
+    if (failures.load() > 0 || mismatches.load() > 0) {
+      pool_bytes_identical = pool_bytes_identical && mismatches.load() == 0;
+      std::cerr << "[bench] pool arm (max_connections=" << max_connections
+                << "): " << failures.load() << " failures, "
+                << mismatches.load() << " byte mismatches\n";
+    }
+    std::vector<double> all;
+    for (const auto& thread_latencies : latencies) {
+      all.insert(all.end(), thread_latencies.begin(), thread_latencies.end());
+    }
+    return all;
+  };
+  std::cout << "[bench] pool phase: " << kPoolThreads << " threads x "
+            << kPoolCallsPerThread
+            << " calls against a 5 ms handler, serialized vs pooled...\n";
+  const auto serialized_latencies = run_pool_arm(1);
+  const auto pooled_latencies = run_pool_arm(8);
+  echo_server.shutdown();
+  const double pool_serialized_p99 =
+      percentile(serialized_latencies, 0.99) * 1000.0;
+  const double pool_pooled_p99 = percentile(pooled_latencies, 0.99) * 1000.0;
+  const bool pooled_wins = pool_pooled_p99 < pool_serialized_p99;
+  const bool pool_survived =
+      pooled_wins && pool_bytes_identical &&
+      serialized_latencies.size() ==
+          static_cast<std::size_t>(kPoolThreads * kPoolCallsPerThread) &&
+      pooled_latencies.size() ==
+          static_cast<std::size_t>(kPoolThreads * kPoolCallsPerThread);
+
   const auto shed_rate = [](const StormResult& s) {
     return s.router.requests > 0
                ? static_cast<double>(s.router.redirects + s.router.sheds_returned) /
@@ -392,7 +476,14 @@ int main() {
             << "latency p50 / p99 (ms):  " << sk_p50 << " / " << sk_p99
             << "  (loopback load-aware p99 " << la_p99 << ")\n"
             << "bit-identical bytes:     "
-            << (socket_identical ? "yes" : "NO") << "\n";
+            << (socket_identical ? "yes" : "NO") << "\n"
+            << "\npool phase (8 concurrent callers, 5 ms handler)\n"
+            << "serialized p99 (ms):     " << pool_serialized_p99 << "\n"
+            << "pooled p99 (ms):         " << pool_pooled_p99 << "\n"
+            << "pooled < serialized:     " << (pooled_wins ? "yes" : "NO")
+            << "\n"
+            << "echoed bytes identical:  "
+            << (pool_bytes_identical ? "yes" : "NO") << "\n";
 
   dp::bench::write_bench_json(
       "router",
@@ -427,14 +518,20 @@ int main() {
        {"socket_p99_ms", sk_p99},
        {"socket_vs_loopback_p99_ratio",
         la_p99 > 0.0 ? sk_p99 / la_p99 : 0.0},
-       {"socket_bit_identical", socket_identical ? 1.0 : 0.0}});
+       {"socket_bit_identical", socket_identical ? 1.0 : 0.0},
+       {"pool_serialized_p99_ms", pool_serialized_p99},
+       {"pool_pooled_p99_ms", pool_pooled_p99},
+       {"pooled_beats_serialized", pooled_wins ? 1.0 : 0.0},
+       {"pool_bytes_identical", pool_bytes_identical ? 1.0 : 0.0}});
 
   // Pass criteria: both loopback policies completed everything (redirects
   // absorb the sheds), the load-aware router encountered strictly fewer
   // sheds than the load-blind control, routing was invisible in the bytes,
-  // and the socket phase survived its partition — at least one typed
-  // failover, zero failures, bytes still golden.
-  return (all_completed && load_aware_wins && identical && socket_survived)
+  // the socket phase survived its partition — at least one typed
+  // failover, zero failures, bytes still golden — and the pooled channel
+  // beat the serialized one at p99 with every echo byte-identical.
+  return (all_completed && load_aware_wins && identical && socket_survived &&
+          pool_survived)
              ? 0
              : 1;
 }

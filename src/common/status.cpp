@@ -24,6 +24,8 @@ const char* to_string(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
   }
   return "UNKNOWN";
 }

@@ -27,14 +27,15 @@ enum class StatusCode {
   kResourceExhausted = 6,  // Hard admission budget exhausted; back off.
   kDeadlineExceeded = 7,   // Request deadline expired before completion.
   kDataLoss = 8,           // Serialized bytes corrupt or truncated.
+  kPermissionDenied = 9,   // Peer failed authentication at a trust boundary.
   // When adding a code, bump kStatusCodeCount below — per-code arrays
   // (e.g. the reject counters) are sized with it.
 };
 
 /// Number of StatusCode enumerators; indexes per-code arrays like the
 /// service's rejects_by_code counters.
-inline constexpr std::size_t kStatusCodeCount = 9;
-static_assert(static_cast<std::size_t>(StatusCode::kDataLoss) + 1 ==
+inline constexpr std::size_t kStatusCodeCount = 10;
+static_assert(static_cast<std::size_t>(StatusCode::kPermissionDenied) + 1 ==
                   kStatusCodeCount,
               "kStatusCodeCount must cover every StatusCode enumerator");
 
@@ -87,6 +88,9 @@ class [[nodiscard]] Status {
   }
   static Status DataLoss(std::string message) {
     return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status PermissionDenied(std::string message) {
+    return Status(StatusCode::kPermissionDenied, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -296,57 +296,17 @@ common::Status FaultInjector::start(const std::string& listen_address,
   if (!parsed.ok()) {
     return parsed.status();
   }
-  const SocketAddress& addr = parsed.value();
-  int fd = -1;
-  if (addr.kind == SocketAddress::Kind::kTcp) {
-    fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-      return Status::Unavailable("socket(): " + std::string(strerror(errno)));
-    }
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in in {};
-    in.sin_family = AF_INET;
-    in.sin_port = htons(addr.port);
-    const std::string host =
-        addr.host == "localhost" ? "127.0.0.1" : addr.host;
-    if (::inet_pton(AF_INET, host.c_str(), &in.sin_addr) != 1) {
-      ::close(fd);
-      return Status::InvalidArgument("not a numeric IPv4 host: '" +
-                                     addr.host + "'");
-    }
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&in), sizeof(in)) != 0 ||
-        ::listen(fd, 64) != 0) {
-      const std::string reason = strerror(errno);
-      ::close(fd);
-      return Status::Unavailable("bind/listen " + addr.to_string() + ": " +
-                                 reason);
-    }
-    sockaddr_in bound {};
-    socklen_t bound_len = sizeof(bound);
-    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-    address_ = "tcp:" + host + ":" + std::to_string(ntohs(bound.sin_port));
-  } else {
-    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-      return Status::Unavailable("socket(): " + std::string(strerror(errno)));
-    }
-    ::unlink(addr.path.c_str());
-    sockaddr_un un {};
-    un.sun_family = AF_UNIX;
-    std::snprintf(un.sun_path, sizeof(un.sun_path), "%s", addr.path.c_str());
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&un), sizeof(un)) != 0 ||
-        ::listen(fd, 64) != 0) {
-      const std::string reason = strerror(errno);
-      ::close(fd);
-      return Status::Unavailable("bind/listen " + addr.to_string() + ": " +
-                                 reason);
-    }
-    impl_->unix_path = addr.path;
-    address_ = addr.to_string();
+  // Shares the transport's getaddrinfo-backed listener, so the proxy
+  // speaks the same resolver grammar (hostnames, bracketed IPv6) as the
+  // endpoints it sits between.
+  auto listener = bind_and_listen(parsed.value());
+  if (!listener.ok()) {
+    return listener.status();
   }
+  address_ = listener.value().bound_address;
+  impl_->unix_path = listener.value().unix_path;
   impl_->upstream = upstream_address;
-  impl_->listen_fd = fd;
+  impl_->listen_fd = listener.value().fd;
   accept_thread_ = std::thread([this] { accept_loop(); });
   return Status::Ok();
 }

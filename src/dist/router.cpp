@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "dist/discovery.h"
+
 namespace diffpattern::dist {
 
 using common::Result;
@@ -38,6 +40,10 @@ std::string RouterCounters::to_json() const {
   out += ",\"transport_errors\":" + std::to_string(transport_errors);
   out += ",\"decode_failures\":" + std::to_string(decode_failures);
   out += ",\"reconnects\":" + std::to_string(reconnects);
+  out += ",\"directory_adds\":" + std::to_string(directory_adds);
+  out += ",\"directory_removes\":" + std::to_string(directory_removes);
+  out += ",\"directory_sync_failures\":" +
+         std::to_string(directory_sync_failures);
   out += "}";
   return out;
 }
@@ -47,6 +53,10 @@ struct ReplicaRouter::Replica {
   WorkerHealth health;
   bool has_health = false;
   bool down = false;
+  /// Left the directory: excluded from routing and probing, but never
+  /// freed — refresh_health() holds raw Replica pointers across unlocked
+  /// probes. A directory re-listing revives the object in place.
+  bool retired = false;
   std::int64_t cooldown_until_ms = 0;
   std::int64_t consecutive_sheds = 0;
   std::int64_t inflight = 0;
@@ -108,7 +118,8 @@ std::int64_t ReplicaRouter::healthy_replicas(const std::string& model) const {
   const std::int64_t now = now_ms();
   std::int64_t healthy = 0;
   for (const auto& replica : it->second->replicas) {
-    if (!replica->down && replica->cooldown_until_ms <= now) {
+    if (!replica->retired && !replica->down &&
+        replica->cooldown_until_ms <= now) {
       ++healthy;
     }
   }
@@ -124,6 +135,9 @@ void ReplicaRouter::refresh_health() {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [model, table] : tables_) {
       for (auto& replica : table->replicas) {
+        if (replica->retired) {
+          continue;  // Left the directory; don't probe it back to life.
+        }
         targets.emplace_back(replica.get(), replica->channel);
       }
     }
@@ -153,7 +167,7 @@ ReplicaRouter::Replica* ReplicaRouter::pick_replica(
   eligible.reserve(table.replicas.size());
   for (std::size_t i = 0; i < table.replicas.size(); ++i) {
     Replica* r = table.replicas[i].get();
-    if (r->down || r->cooldown_until_ms > now) {
+    if (r->retired || r->down || r->cooldown_until_ms > now) {
       continue;
     }
     if (std::find(tried.begin(), tried.end(), r) != tried.end()) {
@@ -392,6 +406,98 @@ common::Result<service::GenerateStats> ReplicaRouter::generate_stream(
     return end.status;
   }
   return end.stats;
+}
+
+common::Result<ReplicaRouter::DirectorySyncStats>
+ReplicaRouter::sync_directory(WorkerDirectory& directory,
+                              const ChannelFactory& connect) {
+  auto snapshot = directory.snapshot();
+  if (!snapshot.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.directory_sync_failures++;
+    return snapshot.status();
+  }
+  const std::vector<WorkerEndpoint>& desired = snapshot.value();
+  const auto listed = [&desired](const std::string& model,
+                                 const std::string& address) {
+    for (const WorkerEndpoint& endpoint : desired) {
+      if (endpoint.model == model && endpoint.address == address) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  DirectorySyncStats stats;
+  // Pass 1 (locked): retire vanished replicas, revive re-listed ones, and
+  // collect the endpoints that need a fresh channel.
+  std::vector<WorkerEndpoint> to_add;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [model, table] : tables_) {
+      for (auto& replica : table->replicas) {
+        const bool wanted = listed(model, replica->channel->endpoint());
+        if (!wanted && !replica->retired) {
+          replica->retired = true;
+          counters_.directory_removes++;
+          stats.retired++;
+        } else if (wanted && replica->retired) {
+          // Revive in place: same channel, clean slate for health/backoff.
+          replica->retired = false;
+          replica->down = false;
+          replica->cooldown_until_ms = 0;
+          replica->consecutive_sheds = 0;
+          counters_.directory_adds++;
+          stats.added++;
+        }
+      }
+    }
+    for (const WorkerEndpoint& endpoint : desired) {
+      bool present = false;
+      auto it = tables_.find(endpoint.model);
+      if (it != tables_.end()) {
+        for (const auto& replica : it->second->replicas) {
+          if (replica->channel->endpoint() == endpoint.address) {
+            present = true;
+            break;
+          }
+        }
+      }
+      if (!present) {
+        to_add.push_back(endpoint);
+      }
+    }
+  }
+  // Pass 2 (unlocked): dial the new endpoints — the factory may do real
+  // work — then insert under the lock, re-checking presence so two
+  // concurrent syncs never double-add.
+  for (const WorkerEndpoint& endpoint : to_add) {
+    std::shared_ptr<Channel> channel = connect(endpoint.address);
+    if (!channel) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& table = tables_[endpoint.model];
+    if (!table) {
+      table = std::make_unique<ModelTable>();
+    }
+    bool present = false;
+    for (const auto& replica : table->replicas) {
+      if (replica->channel->endpoint() == endpoint.address) {
+        present = true;
+        break;
+      }
+    }
+    if (present) {
+      continue;
+    }
+    auto replica = std::make_unique<Replica>();
+    replica->channel = std::move(channel);
+    table->replicas.push_back(std::move(replica));
+    counters_.directory_adds++;
+    stats.added++;
+  }
+  return stats;
 }
 
 RouterCounters ReplicaRouter::counters() const {

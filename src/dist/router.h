@@ -14,9 +14,19 @@
 // determinism contract extends across replicas: the same (model, seed)
 // request yields identical bytes no matter which replica serves it or how
 // many failovers happened on the way.
+//
+// Runtime discovery: sync_directory() reconciles the replica set against a
+// WorkerDirectory snapshot (file, registry, or static list — see
+// dist/discovery.h) so replicas join and leave a live router without a
+// restart. Replica objects are never freed — a replica that leaves the
+// directory is *retired* (kept allocated, excluded from routing and
+// probing) and revived in place if the directory lists it again — so the
+// raw replica pointers refresh_health() holds across its unlocked probes
+// stay valid forever.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,6 +39,8 @@
 #include "service/request.h"
 
 namespace diffpattern::dist {
+
+class WorkerDirectory;  // dist/discovery.h
 
 struct RouterConfig {
   enum class Policy {
@@ -65,6 +77,10 @@ struct RouterCounters {
   /// Reconnects summed from every replica channel's ChannelStats at
   /// snapshot time (socket channels report recoveries; loopback is 0).
   std::int64_t reconnects = 0;
+  // Runtime discovery (sync_directory):
+  std::int64_t directory_adds = 0;      ///< Replicas added or revived.
+  std::int64_t directory_removes = 0;   ///< Replicas retired.
+  std::int64_t directory_sync_failures = 0;  ///< Unreadable snapshots.
 
   /// Single-line JSON object ({"requests":N,...}).
   std::string to_json() const;
@@ -103,6 +119,26 @@ class ReplicaRouter {
   /// Probes every replica of every model now: a successful probe updates
   /// health and revives a down replica, a failed one marks it down.
   void refresh_health();
+
+  /// Dials the channel for a directory-discovered endpoint address
+  /// (typically [&t](const std::string& a) { return t.connect(a); }).
+  using ChannelFactory =
+      std::function<std::shared_ptr<Channel>(const std::string& address)>;
+
+  struct DirectorySyncStats {
+    std::int64_t added = 0;    ///< Replicas added or revived this sync.
+    std::int64_t retired = 0;  ///< Replicas retired this sync.
+  };
+
+  /// Reconciles the replica set against `directory.snapshot()`: endpoints
+  /// new to a model are dialed through `connect` and added, replicas whose
+  /// (model, endpoint) pair vanished from the snapshot are retired, and
+  /// retired replicas that reappear are revived in place. A snapshot error
+  /// is returned (and counted) with the current set untouched — a flaky
+  /// directory source never drains a healthy router. Thread-safe; may run
+  /// while traffic flows.
+  common::Result<DirectorySyncStats> sync_directory(
+      WorkerDirectory& directory, const ChannelFactory& connect);
 
   RouterCounters counters() const;
 

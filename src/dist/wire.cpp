@@ -177,7 +177,7 @@ void seal_frame(Bytes& out) {
 
 bool known_type(std::uint16_t raw) {
   return raw >= static_cast<std::uint16_t>(MessageType::kGenerateRequest) &&
-         raw <= static_cast<std::uint16_t>(MessageType::kStreamEnd);
+         raw <= static_cast<std::uint16_t>(MessageType::kWorkerAnnounce);
 }
 
 /// Validates one frame header at `frame[offset]`. On success fills `type`
@@ -493,6 +493,19 @@ Bytes encode_stream_end(const common::Status& status,
   return out;
 }
 
+Bytes encode_worker_announce(const WorkerAnnounce& announce) {
+  Bytes out;
+  put_header(out, MessageType::kWorkerAnnounce);
+  put_string(out, announce.worker);
+  put_string(out, announce.address);
+  put_u32(out, static_cast<std::uint32_t>(announce.models.size()));
+  for (const std::string& model : announce.models) {
+    put_string(out, model);
+  }
+  seal_frame(out);
+  return out;
+}
+
 common::Result<MessageType> peek_type(const Bytes& frame) {
   MessageType type{};
   std::size_t payload_len = 0;
@@ -666,6 +679,48 @@ common::Result<StreamEnd> decode_stream_end(const Bytes& frame) {
     return s;
   }
   return end;
+}
+
+common::Result<WorkerAnnounce> decode_worker_announce(const Bytes& frame) {
+  auto opened = open_frame(frame, MessageType::kWorkerAnnounce);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  Reader reader = std::move(opened).value();
+  WorkerAnnounce announce;
+  if (Status s = reader.read_string(announce.worker, kMaxNameBytes,
+                                    "worker name");
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = reader.read_string(announce.address, kMaxNameBytes,
+                                    "worker address");
+      !s.ok()) {
+    return s;
+  }
+  std::uint32_t model_count = 0;
+  if (!reader.read_u32(model_count)) {
+    return Status::DataLoss("truncated announce model count");
+  }
+  if (model_count > kMaxAnnounceModels) {
+    return Status::InvalidArgument("announce model count " +
+                                   std::to_string(model_count) +
+                                   " exceeds " +
+                                   std::to_string(kMaxAnnounceModels));
+  }
+  announce.models.reserve(model_count);
+  for (std::uint32_t i = 0; i < model_count; ++i) {
+    std::string model;
+    if (Status s = reader.read_string(model, kMaxNameBytes, "model name");
+        !s.ok()) {
+      return s;
+    }
+    announce.models.push_back(std::move(model));
+  }
+  if (Status s = require_exhausted(reader); !s.ok()) {
+    return s;
+  }
+  return announce;
 }
 
 }  // namespace diffpattern::dist

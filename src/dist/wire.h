@@ -34,6 +34,7 @@ enum class MessageType : std::uint16_t {
   kHealthProbe = 6,            ///< Router -> worker: request a snapshot.
   kGenerateStreamRequest = 7,  ///< Client -> worker: streaming generate.
   kStreamEnd = 8,              ///< Worker -> client: stream terminator.
+  kWorkerAnnounce = 9,         ///< Worker -> registry: self-announce.
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x44505731;  // "DPW1"
@@ -71,6 +72,19 @@ WorkerHealth health_from_counters(const std::string& worker,
                                   std::uint64_t seq,
                                   const common::ServiceCounters& counters);
 
+/// Decoder hard limit on models per announce frame.
+inline constexpr std::size_t kMaxAnnounceModels = 1024;
+
+/// A worker's self-announce to a registry (runtime discovery): "I am
+/// `worker`, dialable at `address`, serving `models`". The registry acks
+/// with a kStatus frame. `address` must be a spec the announcing worker is
+/// reachable at from the router's vantage point.
+struct WorkerAnnounce {
+  std::string worker;                ///< Display name (diagnostics).
+  std::string address;               ///< Dialable endpoint spec.
+  std::vector<std::string> models;   ///< Model names served.
+};
+
 /// Terminal frame of a streaming response: the request's final status
 /// (including any retry_after hint on a shed) plus its stats.
 struct StreamEnd {
@@ -95,6 +109,7 @@ Bytes encode_worker_health(const WorkerHealth& health);
 Bytes encode_health_probe();
 Bytes encode_stream_end(const common::Status& status,
                         const service::GenerateStats& stats);
+Bytes encode_worker_announce(const WorkerAnnounce& announce);
 
 // -- decoders --
 /// Validates the header of the frame starting at `frame[0]` and returns its
@@ -116,5 +131,6 @@ common::Result<service::StreamedPattern> decode_streamed_pattern(
 common::Result<StatusFrame> decode_status(const Bytes& frame);
 common::Result<WorkerHealth> decode_worker_health(const Bytes& frame);
 common::Result<StreamEnd> decode_stream_end(const Bytes& frame);
+common::Result<WorkerAnnounce> decode_worker_announce(const Bytes& frame);
 
 }  // namespace diffpattern::dist

@@ -37,6 +37,18 @@ WorkerHealth WorkerNode::health_snapshot() {
   return health_from_counters(name_, seq, service_.counters());
 }
 
+WorkerAnnounce WorkerNode::announce(const std::string& address) {
+  WorkerAnnounce out;
+  out.worker = name_;
+  out.address = address;
+  out.models = service_.models().names();
+  return out;
+}
+
+Bytes WorkerNode::announce_frame(const std::string& address) {
+  return encode_worker_announce(announce(address));
+}
+
 WorkerWireCounters WorkerNode::wire_counters() const {
   WorkerWireCounters out;
   out.calls = calls_.load(std::memory_order_relaxed);

@@ -55,6 +55,13 @@ class WorkerNode {
   /// every call bumps the snapshot sequence number.
   WorkerHealth health_snapshot();
 
+  /// Self-announce for runtime discovery: this worker's name, the
+  /// `address` it is dialable at, and every model currently registered.
+  /// Sent (as announce_frame) to a WorkerRegistry when the worker comes
+  /// up; the registry acks with a kStatus frame.
+  WorkerAnnounce announce(const std::string& address);
+  Bytes announce_frame(const std::string& address);
+
   WorkerWireCounters wire_counters() const;
 
   /// Serves one request buffer; exposed publicly so wire-level tests can

@@ -21,7 +21,11 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <map>
+
 #include "common/status.h"
+#include "dist/discovery.h"
 #include "dist/fault_injection.h"
 #include "dist/router.h"
 #include "dist/socket_transport.h"
@@ -306,6 +310,213 @@ TEST_F(ChaosFailoverTest, MixedFaultStormStaysTypedAndByteIdentical) {
   EXPECT_EQ(counters.failovers, counters.transport_timeouts +
                                     counters.transport_errors +
                                     counters.decode_failures);
+}
+
+TEST_F(ChaosFailoverTest, WrongKeyReplicaRejectedTypedNeverWrongBytes) {
+  // Auth chaos dials the workers DIRECTLY: the fault injector relays
+  // plaintext frames, so a keyed stream cannot traverse it. Replica 0's
+  // host is misconfigured with a stale key; the fleet key is "fleet-key".
+  auto node0 = std::make_unique<dd::WorkerNode>("w0");
+  auto node1 = std::make_unique<dd::WorkerNode>("w1");
+  register_demo(*node0);
+  register_demo(*node1);
+  dd::SocketServerConfig stale_cfg;
+  stale_cfg.auth_key = "fleet-key-ROTATED-OUT";
+  auto server0 = std::make_unique<dd::SocketServer>(stale_cfg);
+  dd::WorkerNode* raw0 = node0.get();
+  ASSERT_TRUE(server0
+                  ->start("tcp:127.0.0.1:0",
+                          [raw0](const dd::Bytes& r) {
+                            return raw0->handle(r);
+                          })
+                  .ok());
+  dd::SocketServerConfig fleet_cfg;
+  fleet_cfg.auth_key = "fleet-key";
+  auto server1 = std::make_unique<dd::SocketServer>(fleet_cfg);
+  dd::WorkerNode* raw1 = node1.get();
+  ASSERT_TRUE(server1
+                  ->start("tcp:127.0.0.1:0",
+                          [raw1](const dd::Bytes& r) {
+                            return raw1->handle(r);
+                          })
+                  .ok());
+
+  dd::SocketTransportConfig transport_cfg;
+  transport_cfg.auth_key = "fleet-key";
+  transport_cfg.backoff_base_ms = 1;
+  transport_cfg.backoff_max_ms = 10;
+  dd::SocketTransport transport(transport_cfg);
+  dd::RouterConfig router_cfg;
+  router_cfg.health_refresh_every = 0;
+  dd::ReplicaRouter router(router_cfg);
+  router.add_replica("demo", transport.connect(server0->bound_address()));
+  router.add_replica("demo", transport.connect(server1->bound_address()));
+
+  // Whatever replica the router tries first, every request must land on
+  // the good one with bytes identical to the golden — a wrong-key peer
+  // surfaces as a typed failover, never as wrong output.
+  for (std::uint64_t seed = 61; seed < 65; ++seed) {
+    auto routed = router.generate(demo_request(seed));
+    ASSERT_TRUE(routed.ok()) << routed.status().to_string();
+    EXPECT_TRUE(same_patterns(routed->patterns, golden_for(seed)));
+  }
+  // A health sweep probes both: the stale-key replica fails its probe
+  // (PERMISSION_DENIED at the frame layer) and is marked down.
+  router.refresh_health();
+  EXPECT_EQ(router.healthy_replicas("demo"), 1);
+  EXPECT_GE(server0->counters().auth_failures, 1);
+  // The rejection happened BEFORE any wire decode: the stale worker's
+  // handler never saw a single frame.
+  EXPECT_EQ(node0->wire_counters().calls, 0);
+  const auto counters = router.counters();
+  EXPECT_EQ(counters.failovers, counters.transport_timeouts +
+                                    counters.transport_errors +
+                                    counters.decode_failures);
+  server0->shutdown();
+  server1->shutdown();
+}
+
+TEST_F(ChaosFailoverTest, PooledStormUnderResetsKeepsCounterTaxonomy) {
+  auto resetting = clean_faults(77);
+  resetting.reset_probability = 0.25;
+  auto resetting2 = clean_faults(78);
+  resetting2.reset_probability = 0.25;
+  dd::SocketTransportConfig transport_cfg;
+  transport_cfg.max_connections = 4;  // Pooled: callers overlap per replica.
+  transport_cfg.call_timeout_ms = 5000;
+  transport_cfg.backoff_base_ms = 1;
+  transport_cfg.backoff_max_ms = 20;
+  start_topology(2, {resetting, resetting2}, transport_cfg);
+
+  // Goldens precomputed on this thread; storm threads only compare.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5;
+  std::map<std::uint64_t, std::vector<diffpattern::layout::SquishPattern>>
+      goldens;
+  for (std::uint64_t seed = 200;
+       seed < 200 + kThreads * kPerThread; ++seed) {
+    goldens[seed] = golden_for(seed);
+  }
+  const std::set<dc::StatusCode> typed = {
+      dc::StatusCode::kUnavailable,
+      dc::StatusCode::kResourceExhausted,
+      dc::StatusCode::kDeadlineExceeded,
+      dc::StatusCode::kDataLoss,
+  };
+  std::atomic<int> successes{0};
+  std::atomic<int> wrong_bytes{0};
+  std::atomic<int> untyped{0};
+  std::vector<std::thread> stormers;
+  for (int t = 0; t < kThreads; ++t) {
+    stormers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto seed =
+            static_cast<std::uint64_t>(200 + t * kPerThread + i);
+        auto routed = router_->generate(demo_request(seed));
+        if (routed.ok()) {
+          successes.fetch_add(1);
+          if (!same_patterns(routed->patterns, goldens[seed])) {
+            wrong_bytes.fetch_add(1);
+          }
+        } else if (typed.count(routed.status().code()) == 0) {
+          untyped.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : stormers) {
+    t.join();
+  }
+  EXPECT_GE(successes.load(), 1);
+  EXPECT_EQ(wrong_bytes.load(), 0);
+  EXPECT_EQ(untyped.load(), 0);
+  // The taxonomy survives concurrent pooled exchanges: every failover
+  // still lands in exactly one fault-class bucket.
+  const auto counters = router_->counters();
+  EXPECT_EQ(counters.failovers, counters.transport_timeouts +
+                                    counters.transport_errors +
+                                    counters.decode_failures);
+}
+
+TEST_F(ChaosFailoverTest, ReplicaJoinsMidStormWithoutRouterRestart) {
+  // One replica serves alone; mid-storm a second one appears in the
+  // worker directory and a sync_directory() call — no router restart —
+  // brings it into rotation, serving byte-identically.
+  auto node0 = std::make_unique<dd::WorkerNode>("w0");
+  auto node1 = std::make_unique<dd::WorkerNode>("w1");
+  register_demo(*node0);
+  register_demo(*node1);
+  auto server0 = std::make_unique<dd::SocketServer>();
+  dd::WorkerNode* raw0 = node0.get();
+  ASSERT_TRUE(server0
+                  ->start("tcp:127.0.0.1:0",
+                          [raw0](const dd::Bytes& r) {
+                            return raw0->handle(r);
+                          })
+                  .ok());
+  auto server1 = std::make_unique<dd::SocketServer>();
+  dd::WorkerNode* raw1 = node1.get();
+  ASSERT_TRUE(server1
+                  ->start("tcp:127.0.0.1:0",
+                          [raw1](const dd::Bytes& r) {
+                            return raw1->handle(r);
+                          })
+                  .ok());
+
+  dd::SocketTransport transport;
+  dd::ReplicaRouter router;
+  dd::StaticWorkerDirectory directory(std::vector<dd::WorkerEndpoint>{
+      {"demo", server0->bound_address()}});
+  auto connect = [&transport](const std::string& address) {
+    return transport.connect(address);
+  };
+  ASSERT_TRUE(router.sync_directory(directory, connect).ok());
+  ASSERT_EQ(router.healthy_replicas("demo"), 1);
+
+  std::map<std::uint64_t, std::vector<diffpattern::layout::SquishPattern>>
+      goldens;
+  for (std::uint64_t seed = 300; seed < 316; ++seed) {
+    goldens[seed] = golden_for(seed);
+  }
+  std::atomic<int> failures{0};
+  std::atomic<int> wrong_bytes{0};
+  std::atomic<bool> joined{false};
+  std::thread storm([&] {
+    for (std::uint64_t seed = 300; seed < 316; ++seed) {
+      auto routed = router.generate(demo_request(seed));
+      if (!routed.ok()) {
+        failures.fetch_add(1);
+      } else if (!same_patterns(routed->patterns, goldens[seed])) {
+        wrong_bytes.fetch_add(1);
+      }
+      if (seed == 303) {
+        // The join lands while requests are in flight.
+        directory.add_endpoint({"demo", server1->bound_address()});
+        auto synced = router.sync_directory(directory, connect);
+        EXPECT_TRUE(synced.ok()) << synced.status().to_string();
+        EXPECT_EQ(synced->added, 1);
+        joined.store(true);
+      }
+    }
+  });
+  storm.join();
+  ASSERT_TRUE(joined.load());
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(wrong_bytes.load(), 0);
+  EXPECT_EQ(router.healthy_replicas("demo"), 2);
+  EXPECT_EQ(router.counters().directory_adds, 2);
+
+  // The joiner genuinely serves: keep routing until a request lands on it
+  // (power-of-two placement reaches both replicas quickly).
+  bool joiner_served = false;
+  for (std::uint64_t seed = 400; seed < 460 && !joiner_served; ++seed) {
+    auto routed = router.generate(demo_request(seed));
+    ASSERT_TRUE(routed.ok()) << routed.status().to_string();
+    joiner_served = node1->wire_counters().generate_calls > 0;
+  }
+  EXPECT_TRUE(joiner_served);
+  server0->shutdown();
+  server1->shutdown();
 }
 
 // Satellite: the loopback transport carries the same fault controls, so

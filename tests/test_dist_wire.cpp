@@ -436,6 +436,62 @@ TEST(DistWire, EmptyAndGarbageBuffersAreTypedErrors) {
   EXPECT_TRUE(empty->empty());
 }
 
+TEST(DistWire, WorkerAnnounceRoundTrip) {
+  dd::WorkerAnnounce announce;
+  announce.worker = "worker-3";
+  announce.address = "tcp:[::1]:7070";
+  announce.models = {"demo", "mini", "prod"};
+  const auto frame = dd::encode_worker_announce(announce);
+  EXPECT_EQ(dd::peek_type(frame).value(), dd::MessageType::kWorkerAnnounce);
+  auto decoded = dd::decode_worker_announce(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->worker, announce.worker);
+  EXPECT_EQ(decoded->address, announce.address);
+  EXPECT_EQ(decoded->models, announce.models);
+  // No-model announces encode fine (the registry rejects them upstream).
+  dd::WorkerAnnounce empty;
+  auto empty_decoded =
+      dd::decode_worker_announce(dd::encode_worker_announce(empty));
+  ASSERT_TRUE(empty_decoded.ok());
+  EXPECT_TRUE(empty_decoded->models.empty());
+}
+
+TEST(DistWire, EveryAnnounceTruncationPrefixIsATypedError) {
+  dd::WorkerAnnounce announce;
+  announce.worker = "w";
+  announce.address = "unix:/tmp/w.sock";
+  announce.models = {"demo"};
+  const auto frame = dd::encode_worker_announce(announce);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    dd::Bytes prefix(frame.begin(), frame.begin() + len);
+    const auto decoded = dd::decode_worker_announce(prefix);
+    ASSERT_FALSE(decoded.ok()) << "prefix length " << len;
+    EXPECT_EQ(decoded.status().code(), dc::StatusCode::kDataLoss)
+        << "prefix length " << len;
+  }
+}
+
+TEST(DistWire, HostileAnnounceModelCountIsBounded) {
+  dd::WorkerAnnounce announce;
+  announce.worker = "w";
+  announce.address = "tcp:h:1";
+  const auto frame = dd::encode_worker_announce(announce);
+  // The model-count word sits right past the two strings; claim 2^32-1
+  // models and the decoder must answer typed without allocating them.
+  auto mutant = frame;
+  const std::size_t count_at = mutant.size() - 4;
+  mutant[count_at] = 0xFF;
+  mutant[count_at + 1] = 0xFF;
+  mutant[count_at + 2] = 0xFF;
+  mutant[count_at + 3] = 0xFF;
+  const auto decoded = dd::decode_worker_announce(mutant);
+  ASSERT_FALSE(decoded.ok());
+  const auto code = decoded.status().code();
+  EXPECT_TRUE(code == dc::StatusCode::kDataLoss ||
+              code == dc::StatusCode::kInvalidArgument)
+      << decoded.status().to_string();
+}
+
 TEST(DistWire, ByteFlipSweepNeverCrashes) {
   // Deterministic single-byte corruption sweep over a result frame: every
   // mutant must come back as ok-or-typed-error. This is the cheap, seedless

@@ -425,6 +425,365 @@ TEST_F(SocketTransportTest, GracefulShutdownDrainsInFlightCall) {
   ASSERT_TRUE(response.ok()) << response.status().to_string();
 }
 
+// ------------------------------------------------------- resolver / IPv6
+
+TEST(SocketTransportAddress, ParsesBracketedIpv6) {
+  auto v6 = dd::parse_socket_address("tcp:[::1]:7070");
+  ASSERT_TRUE(v6.ok()) << v6.status().to_string();
+  EXPECT_EQ(v6->kind, dd::SocketAddress::Kind::kTcp);
+  EXPECT_EQ(v6->host, "::1");  // Brackets stripped in the parsed host...
+  EXPECT_EQ(v6->port, 7070);
+  EXPECT_EQ(v6->to_string(), "tcp:[::1]:7070");  // ...re-added printing.
+
+  auto full = dd::parse_socket_address("tcp:[fe80::aa:1]:9");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->host, "fe80::aa:1");
+  EXPECT_EQ(full->port, 9);
+}
+
+TEST(SocketTransportAddress, RejectsMalformedBrackets) {
+  const std::string bad[] = {
+      "tcp:[::1]",      // no port after the bracket
+      "tcp:[::1]8080",  // missing ':' between bracket and port
+      "tcp:[::1:8080",  // unterminated bracket
+      "tcp:[]:8080",    // empty host
+  };
+  for (const auto& spec : bad) {
+    const auto parsed = dd::parse_socket_address(spec);
+    ASSERT_FALSE(parsed.ok()) << spec;
+    EXPECT_EQ(parsed.status().code(), dc::StatusCode::kInvalidArgument)
+        << spec;
+  }
+}
+
+/// "tcp:HOST:PORT" → PORT (the tests re-dial a bound server by hostname).
+std::uint16_t port_of(const std::string& bound_address) {
+  const auto colon = bound_address.rfind(':');
+  return static_cast<std::uint16_t>(
+      std::stoi(bound_address.substr(colon + 1)));
+}
+
+TEST_F(SocketTransportTest, HostnameResolvesThroughGetaddrinfo) {
+  auto worker = make_worker("w0");
+  dd::SocketServer server;
+  ASSERT_TRUE(server
+                  .start("tcp:127.0.0.1:0",
+                         [&worker](const dd::Bytes& request) {
+                           return worker->handle(request);
+                         })
+                  .ok());
+  dd::SocketTransport transport;
+  // Dial by NAME, not numeric literal — the old inet_pton-only resolver
+  // rejected this with "not a numeric IPv4 host".
+  auto channel = transport.connect(
+      "tcp:localhost:" + std::to_string(port_of(server.bound_address())));
+  auto response = channel->call(dd::encode_health_probe());
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  auto health = dd::decode_worker_health(response.value());
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->worker, "w0");
+}
+
+TEST(SocketTransportChannel, UnresolvableHostIsInvalidArgument) {
+  dd::SocketTransport transport;
+  // RFC 6761 reserves .invalid: guaranteed NXDOMAIN, no network needed.
+  auto channel = transport.connect("tcp:no-such-host.invalid:1");
+  auto response = channel->call(dd::encode_health_probe());
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), dc::StatusCode::kInvalidArgument)
+      << response.status().to_string();
+}
+
+TEST_F(SocketTransportTest, Ipv6LoopbackRoundTrip) {
+  auto worker = make_worker("w6");
+  dd::SocketServer server;
+  const auto started = server.start(
+      "tcp:[::1]:0", [&worker](const dd::Bytes& request) {
+        return worker->handle(request);
+      });
+  if (!started.ok()) {
+    GTEST_SKIP() << "IPv6 loopback unavailable: " << started.to_string();
+  }
+  EXPECT_NE(server.bound_address().find("tcp:[::1]:"), std::string::npos)
+      << server.bound_address();
+  dd::SocketTransport transport;
+  auto channel = transport.connect(server.bound_address());
+  auto response = channel->call(dd::encode_health_probe());
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  auto health = dd::decode_worker_health(response.value());
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->worker, "w6");
+}
+
+// -------------------------------------------------- authenticated framing
+
+TEST(SocketTransportAuth, KeyedFramingRoundTripsEverySplit) {
+  const dd::Bytes payload = make_payload(61);
+  const dd::Bytes framed = dd::frame_payload(payload, "sesame");
+  ASSERT_EQ(framed.size(), payload.size() + dd::kSocketAuthFrameHeaderBytes);
+  for (std::size_t split = 1; split < framed.size(); ++split) {
+    dd::FrameAssembler assembler(dd::kDefaultMaxFrameBytes, "sesame");
+    ASSERT_TRUE(assembler.feed(framed.data(), split).ok())
+        << "split at byte " << split;
+    ASSERT_TRUE(
+        assembler.feed(framed.data() + split, framed.size() - split).ok())
+        << "split at byte " << split;
+    ASSERT_TRUE(assembler.complete()) << "split at byte " << split;
+    EXPECT_EQ(assembler.take(), payload) << "split at byte " << split;
+  }
+}
+
+TEST(SocketTransportAuth, CorruptionIsDataLossNotAuthFailure) {
+  // The unkeyed checksum is verified before the tag, so a flipped payload
+  // bit stays DATA_LOSS — corruption and intrusion are distinct signals.
+  const dd::Bytes payload = make_payload(40);
+  dd::Bytes framed = dd::frame_payload(payload, "sesame");
+  framed[dd::kSocketAuthFrameHeaderBytes + 7] ^= 0x01;
+  dd::FrameAssembler assembler(dd::kDefaultMaxFrameBytes, "sesame");
+  EXPECT_EQ(assembler.feed(framed.data(), framed.size()).code(),
+            dc::StatusCode::kDataLoss);
+}
+
+TEST(SocketTransportAuth, TamperedTagIsPermissionDenied) {
+  const dd::Bytes payload = make_payload(40);
+  dd::Bytes framed = dd::frame_payload(payload, "sesame");
+  framed[dd::kSocketFrameHeaderBytes] ^= 0x01;  // First tag byte.
+  dd::FrameAssembler assembler(dd::kDefaultMaxFrameBytes, "sesame");
+  EXPECT_EQ(assembler.feed(framed.data(), framed.size()).code(),
+            dc::StatusCode::kPermissionDenied);
+}
+
+TEST(SocketTransportAuth, ModeMismatchDetectedAtLengthWord) {
+  // A plaintext frame fed to a keyed assembler (and vice versa) is refused
+  // the moment the 4-byte length word completes — no stall waiting for a
+  // tag that will never arrive, no payload byte ever buffered.
+  const dd::Bytes plain = dd::frame_payload(make_payload(8));
+  dd::FrameAssembler keyed(dd::kDefaultMaxFrameBytes, "sesame");
+  EXPECT_EQ(keyed.feed(plain.data(), 4).code(),
+            dc::StatusCode::kPermissionDenied);
+
+  const dd::Bytes authed = dd::frame_payload(make_payload(8), "sesame");
+  dd::FrameAssembler plaintext;
+  EXPECT_EQ(plaintext.feed(authed.data(), 4).code(),
+            dc::StatusCode::kPermissionDenied);
+}
+
+TEST_F(SocketTransportTest, AuthRoundTripWithSharedKey) {
+  auto worker = make_worker("w0");
+  dd::SocketServerConfig server_cfg;
+  server_cfg.auth_key = "shared-secret";
+  dd::SocketServer server(server_cfg);
+  ASSERT_TRUE(server
+                  .start(unique_unix_address("auth_ok"),
+                         [&worker](const dd::Bytes& request) {
+                           return worker->handle(request);
+                         })
+                  .ok());
+  dd::SocketTransportConfig config;
+  config.auth_key = "shared-secret";
+  dd::SocketTransport transport(config);
+  auto channel = transport.connect(server.bound_address());
+  const auto request = demo_request();
+  auto response = channel->call(dd::encode_generate_request(request));
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  auto decoded = dd::decode_generate_result(response.value());
+  ASSERT_TRUE(decoded.ok());
+  auto direct = golden_.service().generate(request);
+  ASSERT_TRUE(direct.ok());
+  // Auth wraps the frame; the payload bytes are untouched by the tag.
+  EXPECT_TRUE(same_patterns(decoded->patterns, direct->patterns));
+  EXPECT_EQ(server.counters().auth_failures, 0);
+}
+
+TEST_F(SocketTransportTest, WrongKeyRejectedTypedBeforeDecode) {
+  std::atomic<int> handled{0};
+  dd::SocketServerConfig server_cfg;
+  server_cfg.auth_key = "right-key";
+  dd::SocketServer server(server_cfg);
+  ASSERT_TRUE(server
+                  .start(unique_unix_address("auth_wrong"),
+                         [&handled](const dd::Bytes&) {
+                           handled.fetch_add(1);
+                           return dd::encode_health_probe();
+                         })
+                  .ok());
+  dd::SocketTransportConfig config;
+  config.auth_key = "wrong-key";
+  dd::SocketTransport transport(config);
+  auto channel = transport.connect(server.bound_address());
+  auto response = channel->call(dd::encode_health_probe());
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), dc::StatusCode::kPermissionDenied)
+      << response.status().to_string();
+  EXPECT_EQ(handled.load(), 0);  // Handler never saw the frame.
+  EXPECT_GE(server.counters().auth_failures, 1);
+}
+
+TEST_F(SocketTransportTest, MissingTagRejectedBothDirections) {
+  std::atomic<int> handled{0};
+  auto handler = [&handled](const dd::Bytes&) {
+    handled.fetch_add(1);
+    return dd::encode_health_probe();
+  };
+  // Plaintext client → authed server.
+  dd::SocketServerConfig authed_cfg;
+  authed_cfg.auth_key = "sesame";
+  dd::SocketServer authed(authed_cfg);
+  ASSERT_TRUE(authed.start(unique_unix_address("auth_miss_a"), handler).ok());
+  dd::SocketTransport plain_transport;
+  auto to_authed = plain_transport.connect(authed.bound_address());
+  auto a = to_authed->call(dd::encode_health_probe());
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), dc::StatusCode::kPermissionDenied)
+      << a.status().to_string();
+  EXPECT_GE(authed.counters().auth_failures, 1);
+
+  // Authed client → plaintext server.
+  dd::SocketServer plain;
+  ASSERT_TRUE(plain.start(unique_unix_address("auth_miss_b"), handler).ok());
+  dd::SocketTransportConfig keyed_cfg;
+  keyed_cfg.auth_key = "sesame";
+  dd::SocketTransport keyed_transport(keyed_cfg);
+  auto to_plain = keyed_transport.connect(plain.bound_address());
+  auto b = to_plain->call(dd::encode_health_probe());
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), dc::StatusCode::kPermissionDenied)
+      << b.status().to_string();
+  EXPECT_EQ(handled.load(), 0);
+}
+
+// -------------------------------------------------------- connection pool
+
+TEST_F(SocketTransportTest, PooledCallsOverlapOnSeparateConnections) {
+  dd::SocketServer server;
+  ASSERT_TRUE(server
+                  .start(unique_unix_address("pool"),
+                         [](const dd::Bytes& request) {
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(60));
+                           return request;
+                         })
+                  .ok());
+  dd::SocketTransportConfig config;
+  config.max_connections = 4;
+  dd::SocketTransport transport(config);
+  auto channel = transport.connect(server.bound_address());
+  std::vector<std::thread> callers;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back([&channel, &ok] {
+      if (channel->call(dd::encode_health_probe()).ok()) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(ok.load(), 4);
+  // Concurrent callers dialed extra pool slots instead of serializing.
+  EXPECT_GE(channel->stats().pool_peak, 2);
+  EXPECT_GE(server.counters().connections, 2);
+  EXPECT_LE(server.counters().connections, 4);
+}
+
+TEST_F(SocketTransportTest, PoolOfOneSerializesOnSingleConnection) {
+  dd::SocketServer server;
+  ASSERT_TRUE(server
+                  .start(unique_unix_address("pool1"),
+                         [](const dd::Bytes& request) {
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(20));
+                           return request;
+                         })
+                  .ok());
+  dd::SocketTransportConfig config;
+  config.max_connections = 1;  // The pre-pool serialized behavior.
+  dd::SocketTransport transport(config);
+  auto channel = transport.connect(server.bound_address());
+  std::vector<std::thread> callers;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back([&channel, &ok] {
+      if (channel->call(dd::encode_health_probe()).ok()) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(ok.load(), 4);
+  EXPECT_EQ(channel->stats().pool_peak, 1);
+  EXPECT_EQ(server.counters().connections, 1);
+}
+
+// ----------------------------------------- server resource-leak hardening
+
+TEST_F(SocketTransportTest, FinishedConnectionThreadsAreReaped) {
+  dd::SocketServer server;
+  ASSERT_TRUE(server
+                  .start(unique_unix_address("reap"),
+                         [](const dd::Bytes& request) { return request; })
+                  .ok());
+  constexpr int kConnections = 40;
+  for (int i = 0; i < kConnections; ++i) {
+    // A fresh transport per iteration: connect, one call, disconnect.
+    dd::SocketTransport transport;
+    auto channel = transport.connect(server.bound_address());
+    ASSERT_TRUE(channel->call(dd::encode_health_probe()).ok());
+  }
+  // Give the last few handler threads a moment to observe their EOF, then
+  // trigger one more accept (reaping happens in the accept loop).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  dd::SocketTransport transport;
+  auto channel = transport.connect(server.bound_address());
+  ASSERT_TRUE(channel->call(dd::encode_health_probe()).ok());
+  // The regression: before reaping, every one of the 41 connections left a
+  // joinable thread in the server until shutdown. Now only the live tail
+  // remains.
+  EXPECT_LE(server.live_connection_threads(), 3u);
+  EXPECT_EQ(server.counters().connections, kConnections + 1);
+}
+
+TEST_F(SocketTransportTest, AcceptCapShedsExcessConnections) {
+  std::atomic<bool> entered{false};
+  dd::SocketServerConfig server_cfg;
+  server_cfg.max_connections = 1;
+  dd::SocketServer server(server_cfg);
+  ASSERT_TRUE(server
+                  .start(unique_unix_address("cap"),
+                         [&entered](const dd::Bytes& request) {
+                           entered.store(true);
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(400));
+                           return request;
+                         })
+                  .ok());
+  dd::SocketTransport transport;
+  auto first = transport.connect(server.bound_address());
+  dc::Result<dd::Bytes> first_response = dc::Status::Internal("not called");
+  std::thread holder([&] {
+    first_response = first->call(dd::encode_health_probe());
+  });
+  while (!entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The slot is occupied: the second connection is accepted and closed
+  // immediately — a typed UNAVAILABLE for the client, a shed for the
+  // counters, and no thread or fd held for it.
+  dd::SocketTransport second_transport;
+  auto second = second_transport.connect(server.bound_address());
+  auto shed = second->call(dd::encode_health_probe());
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), dc::StatusCode::kUnavailable)
+      << shed.status().to_string();
+  holder.join();
+  ASSERT_TRUE(first_response.ok()) << first_response.status().to_string();
+  EXPECT_GE(server.counters().connections_shed, 1);
+  EXPECT_EQ(server.counters().connections, 1);
+}
+
 TEST(SocketTransportChannel, MalformedAddressFailsTyped) {
   dd::SocketTransport transport;
   auto channel = transport.connect("bogus-address");

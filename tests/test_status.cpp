@@ -73,6 +73,15 @@ TEST(StatusCode, NamesAreCanonical) {
   EXPECT_STREQ(dc::to_string(dc::StatusCode::kDeadlineExceeded),
                "DEADLINE_EXCEEDED");
   EXPECT_STREQ(dc::to_string(dc::StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(dc::to_string(dc::StatusCode::kPermissionDenied),
+               "PERMISSION_DENIED");
+}
+
+TEST(Status, PermissionDeniedFactory) {
+  const auto status = dc::Status::PermissionDenied("bad key");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), dc::StatusCode::kPermissionDenied);
+  EXPECT_EQ(status.to_string(), "PERMISSION_DENIED: bad key");
 }
 
 TEST(Result, HoldsValueWhenOk) {

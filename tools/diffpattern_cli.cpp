@@ -8,9 +8,11 @@
 //   diffpattern_cli render   --library library.bin --out-dir DIR [--limit N]
 //   diffpattern_cli serve-demo [--workers N] [--requests N] [--count N]
 //                              [--seed S] [--stats-json]
-//                              [--connect ADDR[,ADDR...]]
+//                              [--connect ADDR[,ADDR...] | --directory FILE]
+//                              [--pool N] [--auth-key KEY]
 //   diffpattern_cli serve    --listen tcp:HOST:PORT|unix:/path [--name S]
-//                            [--io-timeout-ms N] [--stats-json]
+//                            [--io-timeout-ms N] [--max-connections N]
+//                            [--auth-key KEY] [--announce ADDR] [--stats-json]
 //
 // All subcommands share one scaled pipeline configuration; `train` writes a
 // checkpoint that `generate` reloads, and `generate` emits a pattern
@@ -40,6 +42,7 @@
 
 #include "common/compute_pool.h"
 #include "core/pipeline.h"
+#include "dist/discovery.h"
 #include "dist/router.h"
 #include "dist/socket_transport.h"
 #include "dist/transport.h"
@@ -98,10 +101,12 @@ int usage() {
       "  render   --library library.bin --out-dir DIR [--limit N]\n"
       "  export-gds --library library.bin --out patterns.gds [--layer N]\n"
       "  serve-demo [--workers N] [--requests N] [--count N] [--seed S]\n"
-      "             [--stats-json] [--connect ADDR[,ADDR...]]\n"
+      "             [--stats-json] [--connect ADDR[,ADDR...] | --directory F]\n"
       "             [--call-timeout-ms N] [--connect-timeout-ms N]\n"
+      "             [--pool N] [--auth-key KEY]\n"
       "  serve    --listen tcp:HOST:PORT|unix:/path [--name S]\n"
-      "           [--io-timeout-ms N] [--stats-json]\n\n"
+      "           [--io-timeout-ms N] [--max-connections N] [--auth-key KEY]\n"
+      "           [--announce ADDR] [--stats-json]\n\n"
       "Every subcommand accepts --threads N to size the compute pool used\n"
       "by the numeric kernels (default: DIFFPATTERN_THREADS env, else all\n"
       "hardware threads) and --kernel-backend scalar|avx2|neon|auto to pin\n"
@@ -120,9 +125,18 @@ int usage() {
       "--stats-json dumps router/worker counters as JSON. With --connect it\n"
       "routes over real sockets instead: each ADDR is a running `serve`\n"
       "worker, and byte identity is checked against a local golden model.\n"
+      "--directory F discovers the workers from file F ('MODEL ADDRESS' per\n"
+      "line) through the router's runtime-discovery seam instead; --pool N\n"
+      "sizes each replica's connection pool and --auth-key KEY enables\n"
+      "pre-shared-key frame authentication (must match the servers').\n"
+      "Addresses accept tcp:HOST:PORT (hostname, IPv4, or [v6]) and\n"
+      "unix:/path.\n"
       "serve runs one worker as a listening process (demo model, fixed\n"
       "weights); SIGINT/SIGTERM stops accepting, drains in-flight requests,\n"
       "then exits 0 (with a final counter dump under --stats-json).\n"
+      "serve --max-connections caps concurrent connections (0 = unlimited),\n"
+      "--auth-key KEY requires authenticated frames from every peer, and\n"
+      "--announce ADDR self-registers the worker with a registry at ADDR.\n"
       "--priority ranks the request against concurrent service traffic,\n"
       "--deadline-ms bounds its latency (DEADLINE_EXCEEDED past it), and\n"
       "--max-queue-depth caps the service's per-model admission window\n"
@@ -436,38 +450,65 @@ constexpr std::uint64_t kDemoWeightsSeed = 7;
 constexpr const char* kDemoModelName = "demo";
 
 /// Socket-client mode of serve-demo: each --connect address is a running
-/// `serve` worker; the router fails over between them over real sockets,
-/// and byte identity is proven against a local golden built from the same
-/// demo model. Returns 0 on identity, 2 otherwise.
+/// `serve` worker (or, with --directory, the worker set is discovered from
+/// a 'MODEL ADDRESS' file through the router's runtime-discovery seam);
+/// the router fails over between them over real sockets, and byte identity
+/// is proven against a local golden built from the same demo model.
+/// Returns 0 on identity, 2 otherwise.
 int serve_demo_connect(const Args& args, std::int64_t requests,
                        std::int64_t count, std::uint64_t seed) {
-  std::vector<std::string> addresses;
-  std::string list = args.get("connect", "");
-  for (std::size_t start = 0; start <= list.size();) {
-    const auto comma = list.find(',', start);
-    const auto end = comma == std::string::npos ? list.size() : comma;
-    if (end > start) {
-      addresses.push_back(list.substr(start, end - start));
-    }
-    start = end + 1;
-  }
-  if (addresses.empty()) {
-    throw UsageError("--connect needs at least one address");
-  }
-
   dp::dist::SocketTransportConfig transport_cfg;
   transport_cfg.call_timeout_ms = args.get_int("call-timeout-ms", 10000);
   transport_cfg.connect_timeout_ms = args.get_int("connect-timeout-ms", 1000);
   transport_cfg.jitter_seed = seed;
+  const auto pool = args.get_int("pool", 4);
+  if (pool < 1 || pool > 64) {
+    throw UsageError("--pool must be in [1, 64], got " + std::to_string(pool));
+  }
+  transport_cfg.max_connections = pool;
+  transport_cfg.auth_key = args.get("auth-key", "");
   dp::dist::SocketTransport transport(transport_cfg);
   dp::dist::RouterConfig router_cfg;
   router_cfg.seed = seed;
   dp::dist::ReplicaRouter router(router_cfg);
-  for (const auto& address : addresses) {
-    router.add_replica(kDemoModelName, transport.connect(address));
+
+  std::int64_t replica_count = 0;
+  if (args.has("directory")) {
+    dp::dist::FileWorkerDirectory directory(args.get("directory", ""));
+    const auto synced = router.sync_directory(
+        directory,
+        [&transport](const std::string& a) { return transport.connect(a); });
+    if (!synced.ok()) {
+      std::cerr << "serve-demo: --directory: " << synced.status().to_string()
+                << "\n";
+      return 2;
+    }
+    replica_count = synced->added;
+    if (replica_count == 0) {
+      std::cerr << "serve-demo: --directory lists no workers\n";
+      return 2;
+    }
+  } else {
+    std::vector<std::string> addresses;
+    std::string list = args.get("connect", "");
+    for (std::size_t start = 0; start <= list.size();) {
+      const auto comma = list.find(',', start);
+      const auto end = comma == std::string::npos ? list.size() : comma;
+      if (end > start) {
+        addresses.push_back(list.substr(start, end - start));
+      }
+      start = end + 1;
+    }
+    if (addresses.empty()) {
+      throw UsageError("--connect needs at least one address");
+    }
+    for (const auto& address : addresses) {
+      router.add_replica(kDemoModelName, transport.connect(address));
+    }
+    replica_count = static_cast<std::int64_t>(addresses.size());
   }
 
-  std::cout << "serve-demo: routing over " << addresses.size()
+  std::cout << "serve-demo: routing over " << replica_count
             << " socket replicas, " << requests << " requests of " << count
             << " topologies...\n";
   std::int64_t ok_requests = 0;
@@ -550,7 +591,7 @@ int cmd_serve_demo(const Args& args) {
     throw UsageError("--count must be >= 1");
   }
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
-  if (args.has("connect")) {
+  if (args.has("connect") || args.has("directory")) {
     return serve_demo_connect(args, requests, count, seed);
   }
 
@@ -670,6 +711,10 @@ int cmd_serve(const Args& args) {
   if (io_timeout < 1) {
     throw UsageError("--io-timeout-ms must be >= 1");
   }
+  const auto max_connections = args.get_int("max-connections", 256);
+  if (max_connections < 0) {
+    throw UsageError("--max-connections must be >= 0 (0 = unlimited)");
+  }
 
   auto model_cfg = demo_model_config();
   const dp::unet::UNet weights(model_cfg.unet_config(), kDemoWeightsSeed);
@@ -686,6 +731,8 @@ int cmd_serve(const Args& args) {
 
   dp::dist::SocketServerConfig server_cfg;
   server_cfg.io_timeout_ms = io_timeout;
+  server_cfg.max_connections = max_connections;
+  server_cfg.auth_key = args.get("auth-key", "");
   dp::dist::SocketServer server(server_cfg);
   const auto started = server.start(
       listen, [&node](const dp::dist::Bytes& request) {
@@ -700,6 +747,34 @@ int cmd_serve(const Args& args) {
   std::cout << "serving model '" << kDemoModelName << "' as '" << name
             << "' on " << server.bound_address()
             << " (SIGINT/SIGTERM to drain and exit)" << std::endl;
+  if (args.has("announce")) {
+    // Best-effort self-registration: tell the registry at --announce ADDR
+    // that this worker serves its models at the bound address. A failed
+    // announce is logged but does not stop serving — the registry may come
+    // up later and the worker is still directly dialable.
+    dp::dist::SocketTransportConfig announce_cfg;
+    announce_cfg.call_timeout_ms = 2000;
+    announce_cfg.auth_key = server_cfg.auth_key;
+    dp::dist::SocketTransport announce_transport(announce_cfg);
+    auto registry = announce_transport.connect(args.get("announce", ""));
+    const auto ack =
+        registry->call(node.announce_frame(server.bound_address()));
+    if (ack.ok()) {
+      const auto status = dp::dist::decode_status(ack.value());
+      if (status.ok() && status->status.ok()) {
+        std::cout << "serve: announced to " << args.get("announce", "")
+                  << std::endl;
+      } else {
+        std::cerr << "serve: registry rejected announce: "
+                  << (status.ok() ? status->status.to_string()
+                                  : status.status().to_string())
+                  << std::endl;
+      }
+    } else {
+      std::cerr << "serve: announce failed: " << ack.status().to_string()
+                << std::endl;
+    }
+  }
   while (!g_serve_stop.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
